@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Countermeasure ablation (paper Sec. 8 "Counter Measures"): the model
+ * owner randomizes GPU kernel/library selection at run time so the
+ * execution schedule stops being a stable fingerprint. This bench
+ * deploys that defense in the simulator at increasing strengths and
+ * measures (a) how far the CNN extractor's identification accuracy
+ * falls — the attacker profiles the *defended* candidates too, so his
+ * training images are equally scrambled — and (b) the runtime
+ * overhead the defense costs, since randomly selected implementations
+ * are not the tuned ones.
+ */
+
+#include <iostream>
+
+#include "fingerprint/cnn.hh"
+#include "fingerprint/dataset.hh"
+#include "gpusim/trace_generator.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "zoo/zoo.hh"
+
+using namespace decepticon;
+
+namespace {
+
+/** Build a defended fingerprint dataset at the given strength. */
+fingerprint::FingerprintDataset
+buildDefendedDataset(const zoo::ModelZoo &zoo, double strength,
+                     std::size_t images_per_model, std::size_t resolution,
+                     std::uint64_t seed)
+{
+    fingerprint::FingerprintDataset ds;
+    ds.resolution = resolution;
+    ds.classNames = zoo.lineageNames();
+
+    util::Rng rng(seed);
+    for (const auto &model : zoo.models()) {
+        int label = -1;
+        for (std::size_t c = 0; c < ds.classNames.size(); ++c) {
+            if (ds.classNames[c] == model.pretrainedName)
+                label = static_cast<int>(c);
+        }
+        if (label < 0)
+            continue;
+        const gpusim::TraceGenerator gen(model.signature);
+        for (std::size_t k = 0; k < images_per_model; ++k) {
+            fingerprint::FingerprintSample s;
+            s.label = label;
+            s.modelName = model.name;
+            const auto trace = gen.generateDefended(
+                model.arch, rng.nextU64(), strength);
+            s.image = fingerprint::fingerprintImage(trace, resolution);
+            ds.samples.push_back(std::move(s));
+        }
+    }
+    return ds;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto zoo = zoo::ModelZoo::buildDefault(31, 8, 16);
+
+    // Undefended runtime baseline for the overhead column.
+    double base_time = 0.0;
+    std::size_t base_count = 0;
+    for (const auto *m : zoo.pretrained()) {
+        base_time += gpusim::TraceGenerator(m->signature)
+                         .generate(m->arch, 1)
+                         .totalTime();
+        ++base_count;
+    }
+    base_time /= static_cast<double>(base_count);
+
+    util::Table t({"defense strength", "extractor accuracy",
+                   "runtime overhead (%)"});
+    double acc_clean = 0.0, acc_full = 0.0;
+    for (double strength : {0.0, 0.25, 0.5, 1.0}) {
+        const auto ds = buildDefendedDataset(zoo, strength, 5, 32,
+                                             100 + static_cast<int>(
+                                                       strength * 10));
+        const auto [train, test] = ds.split(0.8, 7);
+        fingerprint::FingerprintCnn cnn(32, ds.numClasses(),
+                                        41 + static_cast<int>(
+                                                 strength * 4));
+        fingerprint::CnnTrainOptions topts;
+        topts.epochs = 30;
+        cnn.train(train, topts);
+        const double acc = cnn.evaluate(test);
+
+        double def_time = 0.0;
+        for (const auto *m : zoo.pretrained()) {
+            def_time += gpusim::TraceGenerator(m->signature)
+                            .generateDefended(m->arch, 2, strength)
+                            .totalTime();
+        }
+        def_time /= static_cast<double>(base_count);
+        const double overhead = 100.0 * (def_time / base_time - 1.0);
+
+        t.row().cell(strength, 2).cell(acc, 4).cell(overhead, 1);
+        if (strength == 0.0)
+            acc_clean = acc;
+        if (strength == 1.0)
+            acc_full = acc;
+    }
+
+    util::printBanner(std::cout,
+                      "Sec. 8 countermeasure: randomized kernel "
+                      "selection vs extractor accuracy");
+    t.printAscii(std::cout);
+    const double chance =
+        1.0 / static_cast<double>(zoo.pretrained().size());
+    std::cout << "\nchance level: " << chance
+              << "\naccuracy clean vs fully defended: " << acc_clean
+              << " -> " << acc_full
+              << "  (defense must erode identification at a runtime "
+                 "cost)\n";
+    return acc_clean > 0.7 && acc_full < acc_clean - 0.2 ? 0 : 1;
+}

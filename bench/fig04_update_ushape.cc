@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 4 reproduction: the update magnitude |delta W| as a function
+ * of the pre-trained weight value. Expected shape: a U — weights far
+ * from zero receive over 3x larger updates than weights near zero,
+ * and the outermost ~10% of weights source the long tail of Fig. 3.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/workloads.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "zoo/finetune_sim.hh"
+#include "zoo/weight_store.hh"
+
+using namespace decepticon;
+
+int
+main()
+{
+    gpusim::ArchParams arch = bench::bertBaseArch();
+    const auto pre = zoo::WeightStore::makePretrained(arch, 5, 40000);
+    zoo::FineTuneOptions fopts;
+    const auto ft = zoo::FineTuneSimulator::fineTune(pre, fopts, 6);
+
+    // Bin |delta| by pre-trained weight value in [-0.5, 0.5].
+    constexpr std::size_t kBins = 20;
+    std::vector<double> sums(kBins, 0.0);
+    std::vector<std::size_t> counts(kBins, 0);
+    const double lo = -0.5, hi = 0.5;
+    for (std::size_t l = 0; l < pre.layers.size(); ++l) {
+        for (std::size_t i = 0; i < pre.layers[l].w.size(); ++i) {
+            const double w = pre.layers[l].w[i];
+            if (w < lo || w >= hi)
+                continue;
+            const auto bin = static_cast<std::size_t>(
+                (w - lo) / (hi - lo) * kBins);
+            sums[bin] += std::fabs(
+                static_cast<double>(ft.layers[l].w[i]) -
+                pre.layers[l].w[i]);
+            ++counts[bin];
+        }
+    }
+
+    util::Table t({"pretrained_w", "mean|dW|", "weights"});
+    std::vector<double> centers, means;
+    for (std::size_t b = 0; b < kBins; ++b) {
+        if (counts[b] == 0)
+            continue;
+        const double center =
+            lo + (static_cast<double>(b) + 0.5) * (hi - lo) / kBins;
+        const double mean = sums[b] / static_cast<double>(counts[b]);
+        centers.push_back(center);
+        means.push_back(mean);
+        t.row().cell(center, 3).cell(mean, 6).cell(counts[b]);
+    }
+    util::printBanner(std::cout,
+                      "Fig. 4: update magnitude vs pre-trained value");
+    t.printAscii(std::cout);
+
+    // U-shape check: outer bins (|w| > 0.25) vs inner bins (|w| < 0.1).
+    double outer = 0.0, inner = 0.0;
+    std::size_t n_outer = 0, n_inner = 0;
+    for (std::size_t i = 0; i < centers.size(); ++i) {
+        if (std::fabs(centers[i]) > 0.25) {
+            outer += means[i];
+            ++n_outer;
+        } else if (std::fabs(centers[i]) < 0.1) {
+            inner += means[i];
+            ++n_inner;
+        }
+    }
+    outer /= static_cast<double>(n_outer);
+    inner /= static_cast<double>(n_inner);
+    std::cout << "\nouter(|w|>0.25) / inner(|w|<0.1) update ratio: "
+              << outer / inner << "  (paper: > 3x)\n";
+    return outer / inner > 3.0 ? 0 : 1;
+}

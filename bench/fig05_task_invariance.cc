@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 5 reproduction: one pre-trained model fine-tuned for nine
+ * different downstream tasks (the paper uses the GLUE suite); the
+ * average pairwise per-layer weight distance across the nine models is
+ * near zero for every layer except the task-specific last layer.
+ *
+ * Uses real gradient-descent fine-tuning of a small transformer from
+ * one shared backbone, plus the statistical simulator at BERT-base
+ * shape for the paper's scale.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench/workloads.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "zoo/finetune_sim.hh"
+#include "zoo/weight_store.hh"
+
+using namespace decepticon;
+
+int
+main()
+{
+    constexpr std::size_t kTasks = 9;
+
+    // ---------------------------------------------------------------
+    // Real-training path: nine fine-tunes of one small backbone.
+    // ---------------------------------------------------------------
+    const auto cfg = bench::benchConfig(4);
+    auto pre = bench::pretrainBackbone(cfg, 31);
+
+    std::vector<std::unique_ptr<transformer::TransformerClassifier>>
+        models;
+    for (std::size_t t = 0; t < kTasks; ++t) {
+        transformer::MarkovTask task(cfg.vocab, 2, cfg.maxSeqLen,
+                                     1000 + t, 4.0);
+        models.push_back(bench::fineTuneFrom(
+            *pre, task, task.sample(120, 2000 + t), 3000 + t,
+            bench::fineTuneOptions()));
+    }
+
+    // Average pairwise per-layer mean |diff| across the nine models.
+    const std::size_t layers = cfg.numLayers;
+    std::vector<double> layer_diff(layers, 0.0);
+    double head_diff = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t a = 0; a < models.size(); ++a) {
+        for (std::size_t b = a + 1; b < models.size(); ++b) {
+            ++pairs;
+            for (std::size_t l = 0; l < layers; ++l) {
+                auto pa = models[a]->encoderParams(l);
+                auto pb = models[b]->encoderParams(l);
+                double s = 0.0;
+                std::size_t n = 0;
+                for (std::size_t p = 0; p < pa.size(); ++p) {
+                    for (std::size_t i = 0; i < pa[p]->size(); ++i) {
+                        s += std::fabs(pa[p]->value[i] -
+                                       pb[p]->value[i]);
+                        ++n;
+                    }
+                }
+                layer_diff[l] += s / static_cast<double>(n);
+            }
+            auto ha = models[a]->headParams();
+            auto hb = models[b]->headParams();
+            double s = 0.0;
+            std::size_t n = 0;
+            for (std::size_t p = 0; p < ha.size(); ++p) {
+                for (std::size_t i = 0; i < ha[p]->size(); ++i) {
+                    s += std::fabs(ha[p]->value[i] - hb[p]->value[i]);
+                    ++n;
+                }
+            }
+            head_diff += s / static_cast<double>(n);
+        }
+    }
+    for (auto &d : layer_diff)
+        d /= static_cast<double>(pairs);
+    head_diff /= static_cast<double>(pairs);
+
+    util::Table real_t({"layer", "avg pairwise |diff| (9 tasks)"});
+    for (std::size_t l = 0; l < layers; ++l)
+        real_t.row().cell("encoder" + std::to_string(l))
+            .cell(layer_diff[l], 6);
+    real_t.row().cell("task head (last layer)").cell(head_diff, 6);
+    util::printBanner(std::cout,
+                      "Fig. 5 (real training, 9 tasks, one backbone)");
+    real_t.printAscii(std::cout);
+
+    // ---------------------------------------------------------------
+    // Statistical path at BERT-base shape.
+    // ---------------------------------------------------------------
+    gpusim::ArchParams arch = bench::bertBaseArch();
+    const auto pre_ws = zoo::WeightStore::makePretrained(arch, 7, 8000);
+    zoo::FineTuneOptions fopts;
+    std::vector<zoo::WeightStore> stores;
+    for (std::size_t t = 0; t < kTasks; ++t)
+        stores.push_back(
+            zoo::FineTuneSimulator::fineTune(pre_ws, fopts, 100 + t));
+
+    std::vector<double> sim_layer(arch.numLayers, 0.0);
+    double sim_head = 0.0;
+    std::size_t sim_pairs = 0;
+    for (std::size_t a = 0; a < stores.size(); ++a) {
+        for (std::size_t b = a + 1; b < stores.size(); ++b) {
+            ++sim_pairs;
+            const auto diffs = stores[a].perLayerMeanAbsDiff(stores[b]);
+            for (std::size_t l = 0; l < arch.numLayers; ++l)
+                sim_layer[l] += diffs[l];
+            sim_head += diffs.back();
+        }
+    }
+    util::Table sim_t({"layer", "avg pairwise |diff| (9 tasks)"});
+    for (std::size_t l = 0; l < arch.numLayers; ++l)
+        sim_t.row().cell("encoder" + std::to_string(l))
+            .cell(sim_layer[l] / static_cast<double>(sim_pairs), 6);
+    sim_t.row().cell("task head (last layer)")
+        .cell(sim_head / static_cast<double>(sim_pairs), 6);
+    util::printBanner(std::cout,
+                      "Fig. 5 (simulator, BERT-base shape)");
+    sim_t.printAscii(std::cout);
+
+    // Acceptance: the head differs far more than any encoder layer.
+    double max_layer = 0.0;
+    for (double d : layer_diff)
+        max_layer = std::max(max_layer, d);
+    std::cout << "\nhead/body diff ratio (real): "
+              << head_diff / max_layer << "  (paper: head >> body)\n";
+    return head_diff > 3.0 * max_layer ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 6 reproduction: average weight change between consecutive
+ * fine-tuning epochs over 30 epochs, for an encoder layer (the paper
+ * shows encoder 22 of BERT-large) and for the task-specific output
+ * layer. Expected shape: the encoder's inter-epoch gap rises until
+ * around epoch 9 (to ~0.0015) then decays (to below ~0.0002 by epoch
+ * 30); the output layer's cumulative change saturates exponentially.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/workloads.hh"
+#include "util/table.hh"
+#include "zoo/finetune_sim.hh"
+#include "zoo/weight_store.hh"
+
+using namespace decepticon;
+
+int
+main()
+{
+    gpusim::ArchParams arch = bench::bertLargeArch();
+    const auto pre = zoo::WeightStore::makePretrained(arch, 9, 8000);
+    zoo::FineTuneOptions fopts;
+    fopts.epochs = 30;
+    fopts.outlierProb = 0.0; // the figure shows the bulk behaviour
+    const auto traj =
+        zoo::FineTuneSimulator::fineTuneTrajectory(pre, fopts, 10);
+
+    constexpr std::size_t kLayer = 22; // the paper's example encoder
+    util::Table t({"epoch", "encoder22 inter-epoch |dW|",
+                   "head inter-epoch |dW|", "head cumulative |dW|"});
+
+    double peak_gap = 0.0;
+    std::size_t peak_epoch = 0;
+    double last_gap = 0.0;
+    std::vector<double> head_start = {};
+    for (std::size_t e = 1; e < traj.size(); ++e) {
+        double enc_gap = 0.0;
+        const auto &cur = traj[e].layers[kLayer].w;
+        const auto &prev = traj[e - 1].layers[kLayer].w;
+        for (std::size_t i = 0; i < cur.size(); ++i)
+            enc_gap += std::fabs(static_cast<double>(cur[i]) - prev[i]);
+        enc_gap /= static_cast<double>(cur.size());
+
+        double head_gap = 0.0, head_cum = 0.0;
+        for (std::size_t i = 0; i < traj[e].head.w.size(); ++i) {
+            head_gap += std::fabs(
+                static_cast<double>(traj[e].head.w[i]) -
+                traj[e - 1].head.w[i]);
+            head_cum += std::fabs(
+                static_cast<double>(traj[e].head.w[i]) -
+                traj[0].head.w[i]);
+        }
+        head_gap /= static_cast<double>(traj[e].head.w.size());
+        head_cum /= static_cast<double>(traj[e].head.w.size());
+
+        t.row().cell(e + 1).cell(enc_gap, 6).cell(head_gap, 6)
+            .cell(head_cum, 5);
+        if (enc_gap > peak_gap) {
+            peak_gap = enc_gap;
+            peak_epoch = e + 1;
+        }
+        last_gap = enc_gap;
+    }
+
+    util::printBanner(std::cout,
+                      "Fig. 6: weight updates across 30 fine-tuning "
+                      "epochs (BERT-large shape, encoder 22)");
+    t.printAscii(std::cout);
+
+    std::cout << "\npeak inter-epoch gap " << peak_gap << " at epoch "
+              << peak_epoch << "; final gap " << last_gap
+              << "  (paper: peak ~0.0015 near epoch 9, tail < 0.0002)\n";
+    const bool shape_ok =
+        peak_epoch >= 6 && peak_epoch <= 12 && last_gap < peak_gap / 3.0;
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 8 reproduction: models released by the same source show
+ * highly consistent execution statistics even when fine-tuned for
+ * different tasks — the fingerprint is inherited from the pre-trained
+ * model. We compare fingerprint images of several fine-tuned
+ * descendants of one lineage against each other and against
+ * descendants of other lineages.
+ */
+
+#include <iostream>
+
+#include "fingerprint/dataset.hh"
+#include "trace/image.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "zoo/zoo.hh"
+
+using namespace decepticon;
+
+int
+main()
+{
+    const auto zoo = zoo::ModelZoo::buildDefault(8, 8, 40);
+
+    // Group fine-tuned models by lineage; pick the largest family.
+    const auto lineages = zoo.lineageNames();
+    std::string best;
+    std::size_t best_count = 0;
+    for (const auto &name : lineages) {
+        std::size_t count = 0;
+        for (const auto *ft : zoo.finetuned())
+            count += ft->pretrainedName == name ? 1 : 0;
+        if (count > best_count) {
+            best_count = count;
+            best = name;
+        }
+    }
+
+    std::vector<tensor::Tensor> family, strangers;
+    std::vector<std::string> family_names, stranger_names;
+    std::uint64_t seed = 100;
+    for (const auto *ft : zoo.finetuned()) {
+        auto img =
+            trace::boxBlur3(fingerprint::fingerprintImage(*ft, 64, seed++));
+        if (ft->pretrainedName == best && family.size() < 6) {
+            family.push_back(std::move(img));
+            family_names.push_back(ft->task);
+        } else if (ft->pretrainedName != best && strangers.size() < 6) {
+            strangers.push_back(std::move(img));
+            stranger_names.push_back(ft->pretrainedName);
+        }
+    }
+
+    std::vector<double> within, across;
+    util::Table t({"pair", "kind", "image distance"});
+    for (std::size_t a = 0; a < family.size(); ++a) {
+        for (std::size_t b = a + 1; b < family.size(); ++b) {
+            const double d =
+                trace::imageDistance(family[a], family[b]);
+            within.push_back(d);
+            t.row()
+                .cell(family_names[a] + " vs " + family_names[b])
+                .cell("same lineage")
+                .cell(d, 5);
+        }
+    }
+    for (std::size_t a = 0; a < family.size() && a < strangers.size();
+         ++a) {
+        const double d = trace::imageDistance(family[a], strangers[a]);
+        across.push_back(d);
+        t.row()
+            .cell(family_names[a] + " vs " + stranger_names[a])
+            .cell("cross lineage")
+            .cell(d, 5);
+    }
+
+    util::printBanner(std::cout,
+                      "Fig. 8: fingerprint inheritance within lineage '" +
+                          best + "'");
+    t.printAscii(std::cout);
+
+    const double mean_within = util::mean(within);
+    const double mean_across = util::mean(across);
+    std::cout << "\nmean same-lineage distance: " << mean_within
+              << "\nmean cross-lineage distance: " << mean_across
+              << "\nratio: " << mean_across / mean_within
+              << "  (fingerprints are inherited)\n";
+    return mean_across > 2.0 * mean_within ? 0 : 1;
+}

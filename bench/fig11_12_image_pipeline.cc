@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figures 11-12 reproduction: the CNN training-data pipeline. Fig. 11
+ * is the image construction (plot traces with equal axis scales, strip
+ * decorations, grayscale, resize, label with the pre-trained model
+ * name; the paper collects 1787 images from 240 models). Fig. 12 is
+ * the corner-case pre-processing: XLA-optimized releases interleave an
+ * irregular compiler burst between two encoder regions, so the trace
+ * is cropped to the periodic regions before rasterization.
+ */
+
+#include <iostream>
+
+#include "fingerprint/boundary.hh"
+#include "fingerprint/dataset.hh"
+#include "gpusim/trace_generator.hh"
+#include "trace/image.hh"
+#include "util/table.hh"
+#include "zoo/zoo.hh"
+
+using namespace decepticon;
+
+int
+main()
+{
+    // ------------------------------------------------------------------
+    // Fig. 11: dataset construction at the paper's population scale.
+    // ------------------------------------------------------------------
+    const auto zoo = zoo::ModelZoo::buildDefault(1112);
+    fingerprint::DatasetOptions opts;
+    opts.imagesPerModel = 7; // 240 models x 7 ~ the paper's 1787 images
+    opts.resolution = 32;
+    opts.seed = 2;
+    const auto ds = fingerprint::buildDataset(zoo, opts);
+    const auto [train, test] = ds.split(0.8, 3);
+
+    util::Table t({"quantity", "value", "paper"});
+    t.row().cell("models in zoo").cell(zoo.models().size()).cell("240");
+    t.row().cell("images collected").cell(ds.samples.size())
+        .cell("1787");
+    t.row().cell("training split").cell(train.samples.size())
+        .cell("80%");
+    t.row().cell("test split").cell(test.samples.size()).cell("20%");
+    t.row().cell("classes (pre-trained names)").cell(ds.numClasses())
+        .cell("70");
+    util::printBanner(std::cout, "Fig. 11: CNN training data");
+    t.printAscii(std::cout);
+
+    // An example labeled image, as the figure shows.
+    const auto &sample = ds.samples.front();
+    std::cout << "\nexample image, label '"
+              << ds.classNames[static_cast<std::size_t>(sample.label)]
+              << "' (model " << sample.modelName << "):\n"
+              << trace::renderAscii(sample.image, 48);
+
+    // ------------------------------------------------------------------
+    // Fig. 12: irregular (XLA) traces and encoder-region cropping.
+    // ------------------------------------------------------------------
+    gpusim::SoftwareSignature xla;
+    xla.framework = gpusim::Framework::TensorFlow;
+    xla.developer = gpusim::Developer::Nvidia;
+    xla.useTensorCores = true;
+    xla.useXla = true;
+    xla.kernelDialect = 12;
+    const gpusim::TraceGenerator gen(xla);
+    gpusim::ArchParams arch;
+    arch.numLayers = 24;
+    arch.hidden = 1024;
+    arch.numHeads = 16;
+    arch.seqLen = 128;
+    const auto trace = gen.generate(arch, 5);
+
+    std::size_t xla_records = 0;
+    for (const auto &r : trace.records)
+        xla_records += r.phase == gpusim::Phase::XlaRegion ? 1 : 0;
+
+    const auto res = fingerprint::detectLayerBoundaries(trace);
+    const auto cropped = fingerprint::cropToEncoderRegion(trace);
+
+    util::Table x({"quantity", "value"});
+    x.row().cell("total kernel records").cell(trace.records.size());
+    x.row().cell("XLA-burst records").cell(xla_records);
+    x.row().cell("periodic regions found").cell(res.regions.size());
+    x.row().cell("encoder repetitions (should be 24)")
+        .cell(res.repetitions);
+    x.row().cell("records after cropping").cell(cropped.records.size());
+    util::printBanner(std::cout,
+                      "Fig. 12: XLA irregular trace, cropped to encoder "
+                      "regions");
+    x.printAscii(std::cout);
+
+    const bool shape_ok = ds.samples.size() > 1500 &&
+                          res.regions.size() >= 2 &&
+                          res.repetitions == 24 &&
+                          cropped.records.size() < trace.records.size();
+    return shape_ok ? 0 : 1;
+}

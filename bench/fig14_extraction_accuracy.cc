@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Figure 14 reproduction (plus the Fig. 11-12 pipeline it exercises):
+ * the CNN pre-trained-model extractor's accuracy under measurement
+ * noise. The CNN is trained on fingerprint images of the candidate
+ * pool (80/20 split as in the paper), then evaluated with
+ *   (a) 1-64 randomly chosen kernels perturbed by +/-20 us, and
+ *   (b) 16 kernels perturbed by +/-5..45 us.
+ * Expected shape: high accuracy without noise, decaying slowly under
+ * both sweeps (the CNN is inherently error tolerant).
+ */
+
+#include <iostream>
+
+#include "fingerprint/cnn.hh"
+#include "fingerprint/dataset.hh"
+#include "gpusim/noise.hh"
+#include "gpusim/trace_generator.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "zoo/zoo.hh"
+
+using namespace decepticon;
+
+namespace {
+
+/** Accuracy of the CNN over freshly captured, noise-injected traces. */
+double
+noisyAccuracy(fingerprint::FingerprintCnn &cnn, const zoo::ModelZoo &zoo,
+              const std::vector<std::string> &class_names,
+              std::size_t noisy_kernels, double magnitude_us,
+              std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::size_t correct = 0, total = 0;
+    for (const auto &model : zoo.models()) {
+        int label = -1;
+        for (std::size_t c = 0; c < class_names.size(); ++c) {
+            if (class_names[c] == model.pretrainedName)
+                label = static_cast<int>(c);
+        }
+        if (label < 0)
+            continue;
+        auto trace = gpusim::TraceGenerator(model.signature)
+                         .generate(model.arch, rng.nextU64());
+        if (noisy_kernels > 0) {
+            trace = gpusim::applyTimingNoise(trace, noisy_kernels,
+                                             magnitude_us, rng.nextU64());
+        }
+        const auto img =
+            fingerprint::fingerprintImage(trace, cnn.resolution());
+        correct += cnn.predict(img) == label ? 1 : 0;
+        ++total;
+    }
+    return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+} // namespace
+
+int
+main()
+{
+    // Candidate pool: 12 lineages with fine-tuned descendants.
+    const auto zoo = zoo::ModelZoo::buildDefault(14, 12, 30);
+
+    fingerprint::DatasetOptions dopts;
+    dopts.imagesPerModel = 5;
+    dopts.resolution = 32;
+    dopts.seed = 2;
+    const auto dataset = fingerprint::buildDataset(zoo, dopts);
+    const auto [train, test] = dataset.split(0.8, 3);
+
+    fingerprint::FingerprintCnn cnn(dopts.resolution,
+                                    dataset.numClasses(), 4);
+    fingerprint::CnnTrainOptions topts;
+    topts.epochs = 40;
+    cnn.train(train, topts);
+
+    const double clean_heldout = cnn.evaluate(test);
+    std::cout << "training images: " << train.samples.size()
+              << ", test images: " << test.samples.size()
+              << ", classes: " << dataset.numClasses() << "\n";
+    std::cout << "held-out accuracy (no noise): " << clean_heldout
+              << "  (paper: 90.78%)\n";
+
+    // Sweep (a): number of noisy kernels at +/-20 us.
+    util::Table ta({"noisy kernels", "accuracy"});
+    double acc_k64 = 0.0;
+    for (std::size_t n : {0, 1, 2, 4, 8, 16, 32, 64}) {
+        const double acc = noisyAccuracy(cnn, zoo, dataset.classNames,
+                                         n, 20.0, 100 + n);
+        ta.row().cell(n).cell(acc, 4);
+        if (n == 64)
+            acc_k64 = acc;
+    }
+    util::printBanner(std::cout,
+                      "Fig. 14 (left): accuracy vs kernels with +/-20us "
+                      "noise");
+    ta.printAscii(std::cout);
+
+    // Sweep (b): 16 noisy kernels at +/-K us.
+    util::Table tb({"noise magnitude (us)", "accuracy"});
+    double acc_m45 = 0.0;
+    for (std::size_t k : {5, 15, 25, 35, 45}) {
+        const double acc = noisyAccuracy(cnn, zoo, dataset.classNames,
+                                         16, static_cast<double>(k),
+                                         200 + k);
+        tb.row().cell(k).cell(acc, 4);
+        if (k == 45)
+            acc_m45 = acc;
+    }
+    util::printBanner(std::cout,
+                      "Fig. 14 (right): accuracy vs noise magnitude "
+                      "(16 kernels)");
+    tb.printAscii(std::cout);
+
+    const double clean_fresh =
+        noisyAccuracy(cnn, zoo, dataset.classNames, 0, 0.0, 300);
+    std::cout << "\nfresh-trace accuracy without noise: " << clean_fresh
+              << "\nworst sweep point (64 kernels): " << acc_k64
+              << ", (45 us): " << acc_m45
+              << "  (decay should be graceful)\n";
+    const bool shape_ok = clean_heldout > 0.8 &&
+                          acc_k64 > clean_fresh - 0.4 &&
+                          acc_m45 > clean_fresh - 0.4;
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 17 reproduction: can an attacker skip weight extraction by
+ * fine-tuning the identified pre-trained model himself? Only with a
+ * large share of the victim's private fine-tuning data. We fine-tune
+ * the pre-trained backbone on growing fractions of the victim's
+ * training set and compare accuracy against the victim. Expected
+ * shape: below ~40% of the data the accuracy drop exceeds 5%, making
+ * the data-driven shortcut unrealistic and weight extraction
+ * necessary.
+ */
+
+#include <iostream>
+
+#include "bench/workloads.hh"
+#include "util/table.hh"
+
+using namespace decepticon;
+
+int
+main()
+{
+    const auto cfg = bench::benchConfig(4);
+    auto pre = bench::pretrainBackbone(cfg, 171, 200, 5);
+
+    // The victim's private fine-tuning data. The task is sized so that
+    // data volume matters: few-shot fractions underperform clearly.
+    transformer::MarkovTask task(cfg.vocab, 3, cfg.maxSeqLen, 1700, 2.0);
+    const auto train = task.sample(300, 1);
+    const auto dev = task.sample(150, 2);
+
+    auto victim = bench::fineTuneFrom(*pre, task, train, 7,
+                                      bench::fineTuneOptions(4));
+    const auto victim_eval = transformer::Trainer::evaluate(*victim, dev);
+    std::vector<int> victim_preds;
+    for (const auto &ex : dev.examples)
+        victim_preds.push_back(victim->predict(ex.tokens));
+
+    util::Table t({"data fraction (%)", "accuracy", "drop vs victim",
+                   "matched preds"});
+    double acc_at_10 = 0.0, acc_at_100 = 0.0;
+    for (double frac : {0.01, 0.05, 0.10, 0.20, 0.40, 0.70, 1.00}) {
+        // The data-driven attacker trains to convergence (he has no
+        // reason to stop at the victim's epoch budget).
+        auto opts = bench::fineTuneOptions(8);
+        opts.dataFraction = frac;
+        auto copycat = bench::fineTuneFrom(*pre, task, train, 9, opts);
+        const auto eval = transformer::Trainer::evaluate(*copycat, dev);
+        const double matched = transformer::Trainer::agreement(
+            eval.predictions, victim_preds);
+        t.row()
+            .cell(100.0 * frac, 0)
+            .cell(eval.accuracy, 4)
+            .cell(victim_eval.accuracy - eval.accuracy, 4)
+            .cell(matched, 4);
+        if (frac == 0.10)
+            acc_at_10 = eval.accuracy;
+        if (frac == 1.00)
+            acc_at_100 = eval.accuracy;
+    }
+
+    util::printBanner(std::cout,
+                      "Fig. 17: cloning by re-fine-tuning with partial "
+                      "victim data");
+    std::cout << "victim accuracy: " << victim_eval.accuracy << "\n";
+    t.printAscii(std::cout);
+
+    std::cout << "\ndrop at 10% data: "
+              << victim_eval.accuracy - acc_at_10
+              << "; drop at 100% data: "
+              << victim_eval.accuracy - acc_at_100
+              << "  (paper: >=40% data needed for <5% drop)\n";
+    const bool shape_ok =
+        victim_eval.accuracy - acc_at_10 > 0.05 &&
+        victim_eval.accuracy - acc_at_100 < 0.07;
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 20 reproduction: attention-head confidence correlation. The
+ * per-(layer, head) confidence of a pre-trained model is highly
+ * correlated with that of its fine-tuned descendants — for different
+ * downstream tasks — and markedly less correlated with models from a
+ * different pre-trained lineage. This is what lets the attacker
+ * predict which heads a confidence-based pruner removed.
+ */
+
+#include <iostream>
+
+#include "attack/head_pruning.hh"
+#include "bench/workloads.hh"
+#include "transformer/confidence.hh"
+#include "util/table.hh"
+
+using namespace decepticon;
+
+int
+main()
+{
+    transformer::TransformerConfig cfg = bench::benchConfig(4);
+    cfg.numHeads = 4;
+    cfg.hidden = 16;
+
+    auto pre_x = bench::pretrainBackbone(cfg, 201, 200, 4);
+    auto pre_y = bench::pretrainBackbone(cfg, 202, 200, 4);
+
+    // Two fine-tuned descendants of X, for different tasks.
+    transformer::MarkovTask task1(cfg.vocab, 2, cfg.maxSeqLen, 2010, 4.0);
+    transformer::MarkovTask task2(cfg.vocab, 3, cfg.maxSeqLen, 2020, 4.0);
+    auto ft1 = bench::fineTuneFrom(*pre_x, task1, task1.sample(120, 1),
+                                   11, bench::fineTuneOptions());
+    auto ft2 = bench::fineTuneFrom(*pre_x, task2, task2.sample(120, 2),
+                                   12, bench::fineTuneOptions());
+
+    transformer::MarkovTask probe(cfg.vocab, 4, cfg.maxSeqLen, 2000, 4.0);
+    const auto samples = probe.sample(24, 3).examples;
+
+    util::Table t({"pair", "confidence Pearson r"});
+    const double x_ft1 =
+        attack::confidenceCorrelation(*pre_x, *ft1, samples);
+    const double x_ft2 =
+        attack::confidenceCorrelation(*pre_x, *ft2, samples);
+    const double y_ft1 =
+        attack::confidenceCorrelation(*pre_y, *ft1, samples);
+    const double y_ft2 =
+        attack::confidenceCorrelation(*pre_y, *ft2, samples);
+    t.row().cell("(a) pre-X vs fine-tuned task1 (same lineage)")
+        .cell(x_ft1, 4);
+    t.row().cell("(a) pre-X vs fine-tuned task2 (same lineage)")
+        .cell(x_ft2, 4);
+    t.row().cell("(b) pre-Y vs fine-tuned task1 (cross lineage)")
+        .cell(y_ft1, 4);
+    t.row().cell("(b) pre-Y vs fine-tuned task2 (cross lineage)")
+        .cell(y_ft2, 4);
+
+    util::printBanner(std::cout,
+                      "Fig. 20: head-confidence correlation (same vs "
+                      "different pre-trained model)");
+    t.printAscii(std::cout);
+
+    // Per-layer detail for the same-lineage pair (heat-map values).
+    const auto conf_pre =
+        transformer::headConfidence(*pre_x, samples);
+    const auto conf_ft =
+        transformer::headConfidence(*ft1, samples);
+    util::Table detail({"layer", "head", "pre-X confidence",
+                        "fine-tuned confidence"});
+    for (std::size_t l = 0; l < conf_pre.size(); ++l)
+        for (std::size_t h = 0; h < conf_pre[l].size(); ++h)
+            detail.row().cell(l).cell(h).cell(conf_pre[l][h], 4)
+                .cell(conf_ft[l][h], 4);
+    util::printBanner(std::cout,
+                      "Fig. 20 detail: per-head confidences "
+                      "(same lineage)");
+    detail.printAscii(std::cout);
+
+    const double same_min = std::min(x_ft1, x_ft2);
+    const double cross_max = std::max(y_ft1, y_ft2);
+    std::cout << "\nmin same-lineage r: " << same_min
+              << "; max cross-lineage r: " << cross_max
+              << "  (paper: same-lineage heads highly correlated)\n";
+    return same_min > 0.85 && same_min > cross_max ? 0 : 1;
+}

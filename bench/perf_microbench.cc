@@ -1,0 +1,158 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot paths:
+ * GEMM, transformer forward/backward, trace generation, rasterization,
+ * CNN inference, and selective weight extraction throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "extraction/bitprobe.hh"
+#include "extraction/selective.hh"
+#include "fingerprint/cnn.hh"
+#include "gpusim/trace_generator.hh"
+#include "tensor/tensor.hh"
+#include "trace/image.hh"
+#include "transformer/classifier.hh"
+#include "util/rng.hh"
+#include "zoo/finetune_sim.hh"
+#include "zoo/weight_store.hh"
+
+using namespace decepticon;
+
+namespace {
+
+void
+BM_Matmul(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    util::Rng rng(1);
+    tensor::Tensor a({n, n}), b({n, n});
+    a.fillGaussian(rng, 1.0f);
+    b.fillGaussian(rng, 1.0f);
+    for (auto _ : state) {
+        auto c = tensor::matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_TransformerForward(benchmark::State &state)
+{
+    transformer::TransformerConfig cfg;
+    cfg.vocab = 64;
+    cfg.maxSeqLen = 32;
+    cfg.hidden = 32;
+    cfg.numLayers = static_cast<std::size_t>(state.range(0));
+    cfg.numHeads = 4;
+    cfg.ffnDim = 64;
+    transformer::TransformerClassifier model(cfg, 2);
+    std::vector<int> tokens(32, 5);
+    for (auto _ : state) {
+        auto lg = model.logits(tokens);
+        benchmark::DoNotOptimize(lg.data());
+    }
+}
+BENCHMARK(BM_TransformerForward)->Arg(2)->Arg(6)->Arg(12);
+
+void
+BM_TransformerTrainStep(benchmark::State &state)
+{
+    transformer::TransformerConfig cfg;
+    cfg.vocab = 64;
+    cfg.maxSeqLen = 16;
+    cfg.hidden = 32;
+    cfg.numLayers = 4;
+    cfg.numHeads = 4;
+    cfg.ffnDim = 64;
+    transformer::TransformerClassifier model(cfg, 3);
+    std::vector<int> tokens(16, 5);
+    for (auto _ : state) {
+        const float loss = model.lossAndBackward(tokens, 1);
+        benchmark::DoNotOptimize(loss);
+    }
+}
+BENCHMARK(BM_TransformerTrainStep);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    gpusim::SoftwareSignature sig;
+    if (state.range(0) == 1) {
+        sig.framework = gpusim::Framework::TensorFlow;
+        sig.developer = gpusim::Developer::Google;
+        sig.useXla = true;
+    }
+    const gpusim::TraceGenerator gen(sig);
+    gpusim::ArchParams arch;
+    arch.numLayers = 24;
+    arch.hidden = 1024;
+    arch.numHeads = 16;
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        auto trace = gen.generate(arch, seed++);
+        benchmark::DoNotOptimize(trace.records.data());
+    }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(0)->Arg(1);
+
+void
+BM_Rasterize(benchmark::State &state)
+{
+    gpusim::SoftwareSignature sig;
+    const gpusim::TraceGenerator gen(sig);
+    gpusim::ArchParams arch;
+    arch.numLayers = 24;
+    arch.hidden = 1024;
+    const auto trace = gen.generate(arch, 1);
+    const auto res = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto img = trace::rasterize(trace, res);
+        benchmark::DoNotOptimize(img.data());
+    }
+}
+BENCHMARK(BM_Rasterize)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_CnnPredict(benchmark::State &state)
+{
+    fingerprint::FingerprintCnn cnn(64, 16, 4);
+    tensor::Tensor img({64, 64}, 0.2f);
+    for (auto _ : state) {
+        const int pred = cnn.predict(img);
+        benchmark::DoNotOptimize(pred);
+    }
+}
+BENCHMARK(BM_CnnPredict);
+
+void
+BM_SelectiveExtraction(benchmark::State &state)
+{
+    gpusim::ArchParams arch;
+    arch.numLayers = 2;
+    arch.hidden = 768;
+    const auto pre = zoo::WeightStore::makePretrained(arch, 5, 10000);
+    zoo::FineTuneOptions fopts;
+    const auto victim = zoo::FineTuneSimulator::fineTune(pre, fopts, 6);
+    extraction::WeightStoreOracle oracle(victim);
+    extraction::ExtractionPolicy policy;
+    extraction::SelectiveWeightExtractor extractor(policy);
+    for (auto _ : state) {
+        extraction::BitProbeChannel channel(oracle);
+        extraction::ExtractionStats stats;
+        auto clone =
+            extractor.extractLayer(pre.layers[0].w, channel, 0, stats);
+        benchmark::DoNotOptimize(clone.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SelectiveExtraction);
+
+} // namespace
+
+BENCHMARK_MAIN();

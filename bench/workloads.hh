@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared workload builders for the experiment benches: real
+ * pre-training / fine-tuning of small transformers and the standard
+ * architecture shapes used across figures. Every builder is seeded so
+ * bench output is reproducible run to run.
+ */
+
+#ifndef DECEPTICON_BENCH_WORKLOADS_HH
+#define DECEPTICON_BENCH_WORKLOADS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "gpusim/trace_generator.hh"
+#include "transformer/classifier.hh"
+#include "transformer/task.hh"
+#include "transformer/trainer.hh"
+
+namespace decepticon::bench {
+
+/** The standard small-model shape used by the training benches. */
+inline transformer::TransformerConfig
+benchConfig(std::size_t layers = 4, std::size_t num_classes = 2)
+{
+    transformer::TransformerConfig cfg;
+    cfg.vocab = 24;
+    cfg.maxSeqLen = 12;
+    cfg.hidden = 16;
+    cfg.numLayers = layers;
+    cfg.numHeads = 2;
+    cfg.ffnDim = 32;
+    cfg.numClasses = num_classes;
+    return cfg;
+}
+
+/** A pre-trained backbone: real training on a synthetic task. */
+inline std::unique_ptr<transformer::TransformerClassifier>
+pretrainBackbone(const transformer::TransformerConfig &cfg,
+                 std::uint64_t seed, std::size_t samples = 160,
+                 std::size_t epochs = 4)
+{
+    transformer::TransformerConfig pre_cfg = cfg;
+    pre_cfg.numClasses = 4; // generic multi-class pre-training task
+    auto model = std::make_unique<transformer::TransformerClassifier>(
+        pre_cfg, seed);
+    transformer::MarkovTask task(cfg.vocab, 4, cfg.maxSeqLen,
+                                 seed ^ 0x9e37ULL, 4.0);
+    transformer::TrainOptions opts;
+    opts.epochs = epochs;
+    opts.lr = 2e-3f;
+    transformer::Trainer::train(*model, task.sample(samples, seed + 1),
+                                opts);
+    return model;
+}
+
+/** The paper's fine-tuning regime: fresh head, small backbone rate. */
+inline transformer::TrainOptions
+fineTuneOptions(std::size_t epochs = 3)
+{
+    transformer::TrainOptions opts;
+    opts.epochs = epochs;
+    opts.lr = 2e-4f;
+    opts.headLrMultiplier = 30.0f;
+    return opts;
+}
+
+/** Fine-tune a copy of a backbone for a downstream task. */
+inline std::unique_ptr<transformer::TransformerClassifier>
+fineTuneFrom(const transformer::TransformerClassifier &pretrained,
+             const transformer::MarkovTask &task,
+             const transformer::Dataset &data, std::uint64_t head_seed,
+             const transformer::TrainOptions &opts)
+{
+    auto model = std::make_unique<transformer::TransformerClassifier>(
+        pretrained);
+    model->resetHead(task.numClasses(), head_seed);
+    transformer::Trainer::fineTune(*model, data, opts);
+    return model;
+}
+
+/** Full-scale architecture shapes for the trace-level figures. */
+inline gpusim::ArchParams
+bertBaseArch()
+{
+    gpusim::ArchParams arch;
+    arch.numLayers = 12;
+    arch.hidden = 768;
+    arch.numHeads = 12;
+    arch.seqLen = 128;
+    return arch;
+}
+
+inline gpusim::ArchParams
+bertLargeArch()
+{
+    gpusim::ArchParams arch;
+    arch.numLayers = 24;
+    arch.hidden = 1024;
+    arch.numHeads = 16;
+    arch.seqLen = 128;
+    return arch;
+}
+
+/** Mean absolute per-parameter difference between two models. */
+inline double
+meanAbsParamDiff(transformer::TransformerClassifier &a,
+                 transformer::TransformerClassifier &b)
+{
+    auto pa = a.params();
+    auto pb = b.params();
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t p = 0; p < pa.size(); ++p) {
+        for (std::size_t i = 0; i < pa[p]->size(); ++i) {
+            sum += std::fabs(pa[p]->value[i] - pb[p]->value[i]);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+} // namespace decepticon::bench
+
+#endif // DECEPTICON_BENCH_WORKLOADS_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Model-zoo fingerprint survey — the characterization workload behind
+ * the paper's Sec. 4.2: build the full 70-pre-trained / 170-fine-tuned
+ * population, census each source's kernel behaviour, verify that
+ * fingerprints are inherited within lineages, and train the CNN
+ * extractor over a slice of the zoo to measure identification
+ * accuracy.
+ *
+ * Run: ./build/examples/zoo_fingerprint_survey
+ */
+
+#include <iostream>
+#include <map>
+
+#include "core/decepticon.hh"
+#include "fingerprint/boundary.hh"
+#include "fingerprint/metrics.hh"
+#include "gpusim/trace_generator.hh"
+#include "util/table.hh"
+#include "zoo/vocab.hh"
+#include "zoo/zoo.hh"
+
+using namespace decepticon;
+
+int
+main()
+{
+    std::cout << "=== Decepticon model-zoo fingerprint survey ===\n";
+
+    // Full paper-scale population.
+    const zoo::ModelZoo zoo = zoo::ModelZoo::buildDefault(2024);
+    std::cout << "population: " << zoo.pretrained().size()
+              << " pre-trained + " << zoo.finetuned().size()
+              << " fine-tuned models\n";
+
+    // ------------------------------------------------------------------
+    // Census: kernel behaviour per framework (Fig. 9 flavour).
+    // ------------------------------------------------------------------
+    std::map<std::string, std::pair<std::size_t, std::size_t>> census;
+    std::map<std::string, std::size_t> counts;
+    for (const auto *m : zoo.pretrained()) {
+        const gpusim::TraceGenerator gen(m->signature);
+        const auto trace = gen.generate(m->arch, 1);
+        const std::string key = gpusim::toString(m->signature.framework);
+        census[key].first += trace.records.size();
+        census[key].second += trace.uniqueKernelCount();
+        ++counts[key];
+    }
+    util::Table census_t({"framework", "avg kernel execs",
+                          "avg unique kernels", "models"});
+    for (const auto &[fw, sums] : census) {
+        census_t.row()
+            .cell(fw)
+            .cell(sums.first / counts[fw])
+            .cell(sums.second / counts[fw])
+            .cell(counts[fw]);
+    }
+    util::printBanner(std::cout, "Kernel census by framework");
+    census_t.printAscii(std::cout);
+
+    // ------------------------------------------------------------------
+    // Layer-boundary detection across the whole zoo (Fig. 10 at scale).
+    // ------------------------------------------------------------------
+    std::size_t boundary_correct = 0, boundary_total = 0;
+    for (const auto *m : zoo.pretrained()) {
+        const auto trace = gpusim::TraceGenerator(m->signature)
+                               .generate(m->arch, 2);
+        const auto res = fingerprint::detectLayerBoundaries(trace);
+        boundary_correct +=
+            res.repetitions == m->arch.numLayers ? 1 : 0;
+        ++boundary_total;
+    }
+    std::cout << "\nlayer-count detection over all pre-trained models: "
+              << boundary_correct << "/" << boundary_total << "\n";
+
+    // ------------------------------------------------------------------
+    // CNN extractor over a 16-lineage slice (fingerprint recognition).
+    // ------------------------------------------------------------------
+    core::DecepticonOptions opts;
+    opts.datasetOptions.imagesPerModel = 4;
+    opts.datasetOptions.resolution = 32;
+    opts.datasetOptions.lineageLimit = 16;
+    opts.cnnOptions.epochs = 30;
+    opts.seed = 11;
+    core::Decepticon pipeline(opts);
+    const double extractor_acc = pipeline.trainExtractor(zoo);
+    std::cout << "CNN extractor held-out accuracy over 16 lineages: "
+              << extractor_acc << "\n";
+
+    // Identify every fine-tuned descendant of those lineages from a
+    // fresh trace.
+    std::size_t id_correct = 0, id_total = 0;
+    for (const auto *ft : zoo.finetuned()) {
+        bool in_slice = false;
+        for (const auto &name : pipeline.classNames())
+            in_slice |= name == ft->pretrainedName;
+        if (!in_slice)
+            continue;
+        const auto trace = gpusim::TraceGenerator(ft->signature)
+                               .generate(ft->arch, 7000 + id_total);
+        const auto res = pipeline.identify(
+            trace, core::makeVictimQueryHook(ft->vocabProfile));
+        id_correct += res.pretrainedName == ft->pretrainedName ? 1 : 0;
+        ++id_total;
+    }
+    std::cout << "fine-tuned victim identification: " << id_correct
+              << "/" << id_total << " ("
+              << (id_total
+                      ? 100.0 * static_cast<double>(id_correct) /
+                            static_cast<double>(id_total)
+                      : 0.0)
+              << "%)\n";
+
+    // ------------------------------------------------------------------
+    // Query-probe compilation: minimal probe set that tells apart the
+    // distinguishable vocabulary variants in the zoo (paper Sec. 5.3).
+    // ------------------------------------------------------------------
+    std::vector<zoo::VocabularyProfile> profiles;
+    for (const auto *m : zoo.pretrained())
+        profiles.push_back(m->vocabProfile);
+    const auto probes = zoo::buildDiscriminativeProbeSet(profiles);
+    std::cout << "\ndiscriminative probe set over "
+              << profiles.size() << " candidate profiles: "
+              << probes.size() << " probes (universe: "
+              << zoo::standardProbeSet().size() << ")\n";
+    for (const auto &p : probes)
+        std::cout << "    \"" << p.text << "\"\n";
+
+    const bool ok =
+        boundary_correct > boundary_total * 9 / 10 &&
+        extractor_acc > 0.6 &&
+        id_correct * 10 > id_total * 6;
+    return ok ? 0 : 1;
+}

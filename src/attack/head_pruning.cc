@@ -1,0 +1,81 @@
+#include "attack/head_pruning.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace decepticon::attack {
+
+double
+confidenceCorrelation(transformer::TransformerClassifier &a,
+                      transformer::TransformerClassifier &b,
+                      const std::vector<transformer::Example> &samples)
+{
+    const auto ca =
+        transformer::flattenConfidence(transformer::headConfidence(a,
+                                                                   samples));
+    const auto cb =
+        transformer::flattenConfidence(transformer::headConfidence(b,
+                                                                   samples));
+    assert(ca.size() == cb.size());
+    return util::pearson(ca, cb);
+}
+
+double
+meanShortKernelDuration(const gpusim::KernelTrace &trace)
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &rec : trace.records) {
+        switch (rec.klass) {
+          case gpusim::KernelClass::AttnGemm:
+          case gpusim::KernelClass::Softmax:
+          case gpusim::KernelClass::Reduction:
+            sum += rec.duration();
+            ++n;
+            break;
+          default:
+            break;
+        }
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::size_t
+estimatePrunedHeadCount(const gpusim::KernelTrace &victim,
+                        const gpusim::KernelTrace &dense_ref,
+                        std::size_t num_heads)
+{
+    const double v = meanShortKernelDuration(victim);
+    const double d = meanShortKernelDuration(dense_ref);
+    if (d <= 0.0 || num_heads == 0)
+        return 0;
+    const double ratio = std::clamp(v / d, 0.0, 1.0);
+    const double pruned =
+        std::round((1.0 - ratio) * static_cast<double>(num_heads));
+    return static_cast<std::size_t>(
+        std::clamp(pruned, 0.0, static_cast<double>(num_heads - 1)));
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+predictPrunedHeads(transformer::TransformerClassifier &pretrained,
+                   const std::vector<transformer::Example> &samples,
+                   std::size_t pruned_count)
+{
+    const auto conf = transformer::headConfidence(pretrained, samples);
+    std::vector<std::pair<std::size_t, std::size_t>> heads;
+    for (std::size_t l = 0; l < conf.size(); ++l)
+        for (std::size_t h = 0; h < conf[l].size(); ++h)
+            heads.emplace_back(l, h);
+    std::stable_sort(heads.begin(), heads.end(),
+                     [&](const auto &x, const auto &y) {
+                         return conf[x.first][x.second] <
+                                conf[y.first][y.second];
+                     });
+    heads.resize(std::min(pruned_count, heads.size()));
+    return heads;
+}
+
+} // namespace decepticon::attack

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Head-pruning audit (paper Sec. 8, Figs. 20-21): the attacker
+ * (a) verifies lineage and ranks heads via the Pearson correlation of
+ * attention-head confidences between the candidate pre-trained model
+ * and fine-tuned models, and (b) estimates how many heads a victim
+ * pruned from the duration shrinkage of the short attention kernels in
+ * its execution trace; combining both locates exactly which heads were
+ * pruned so the weight matrices can be re-aligned for extraction.
+ */
+
+#ifndef DECEPTICON_ATTACK_HEAD_PRUNING_HH
+#define DECEPTICON_ATTACK_HEAD_PRUNING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/kernel.hh"
+#include "gpusim/trace_generator.hh"
+#include "transformer/classifier.hh"
+#include "transformer/confidence.hh"
+#include "transformer/task.hh"
+
+namespace decepticon::attack {
+
+/**
+ * Pearson correlation between the flattened head-confidence matrices
+ * of two models evaluated on the same samples (Fig. 20's cell values,
+ * aggregated).
+ */
+double confidenceCorrelation(transformer::TransformerClassifier &a,
+                             transformer::TransformerClassifier &b,
+                             const std::vector<transformer::Example>
+                                 &samples);
+
+/**
+ * Estimate the number of pruned heads from trace timing: the mean
+ * duration of short attention-class kernels scales with the live-head
+ * ratio, so comparing a victim trace against a dense reference trace
+ * of the same lineage reveals the pruned count (Fig. 21).
+ */
+std::size_t estimatePrunedHeadCount(const gpusim::KernelTrace &victim,
+                                    const gpusim::KernelTrace &dense_ref,
+                                    std::size_t num_heads);
+
+/**
+ * Rank (layer, head) pairs by confidence computed on the pre-trained
+ * model and return the pruned_count lowest-confidence pairs — the
+ * heads a confidence-based pruner removes, which the attacker can
+ * predict thanks to the confidence correlation.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+predictPrunedHeads(transformer::TransformerClassifier &pretrained,
+                   const std::vector<transformer::Example> &samples,
+                   std::size_t pruned_count);
+
+/** Mean duration of short (attention/softmax/reduction) kernels. */
+double meanShortKernelDuration(const gpusim::KernelTrace &trace);
+
+} // namespace decepticon::attack
+
+#endif // DECEPTICON_ATTACK_HEAD_PRUNING_HH

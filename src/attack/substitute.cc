@@ -1,0 +1,34 @@
+#include "attack/substitute.hh"
+
+namespace decepticon::attack {
+
+transformer::Dataset
+recordPredictions(transformer::TransformerClassifier &victim,
+                  const std::vector<transformer::Example> &inputs)
+{
+    transformer::Dataset records;
+    records.numClasses = victim.config().numClasses;
+    records.examples.reserve(inputs.size());
+    for (const auto &ex : inputs) {
+        transformer::Example rec;
+        rec.tokens = ex.tokens;
+        rec.label = victim.predict(ex.tokens);
+        records.examples.push_back(std::move(rec));
+    }
+    return records;
+}
+
+std::unique_ptr<transformer::TransformerClassifier>
+buildSubstitute(const transformer::TransformerClassifier &pretrained,
+                const transformer::Dataset &prediction_records,
+                const transformer::TrainOptions &opts,
+                std::uint64_t head_seed)
+{
+    auto sub = std::make_unique<transformer::TransformerClassifier>(
+        pretrained);
+    sub->resetHead(prediction_records.numClasses, head_seed);
+    transformer::Trainer::fineTune(*sub, prediction_records, opts);
+    return sub;
+}
+
+} // namespace decepticon::attack

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Substitute-model baselines for the adversarial comparison (paper
+ * Sec. 7.6): instead of Decepticon's extracted clone, a baseline
+ * attacker downloads a random pre-trained model and fine-tunes it on
+ * the victim's prediction records (the Thieves-on-Sesame-Street [27]
+ * style of model stealing).
+ */
+
+#ifndef DECEPTICON_ATTACK_SUBSTITUTE_HH
+#define DECEPTICON_ATTACK_SUBSTITUTE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "transformer/classifier.hh"
+#include "transformer/task.hh"
+#include "transformer/trainer.hh"
+
+namespace decepticon::attack {
+
+/**
+ * Record the victim's predictions on a set of inputs — the labeled
+ * dataset a query-based stealing attacker can assemble.
+ */
+transformer::Dataset recordPredictions(
+    transformer::TransformerClassifier &victim,
+    const std::vector<transformer::Example> &inputs);
+
+/**
+ * Build one substitute: copy the given (randomly chosen) pre-trained
+ * model, attach a fresh head sized to the victim's output, and
+ * fine-tune on the victim's prediction records.
+ */
+std::unique_ptr<transformer::TransformerClassifier>
+buildSubstitute(const transformer::TransformerClassifier &pretrained,
+                const transformer::Dataset &prediction_records,
+                const transformer::TrainOptions &opts,
+                std::uint64_t head_seed);
+
+} // namespace decepticon::attack
+
+#endif // DECEPTICON_ATTACK_SUBSTITUTE_HH

@@ -1,0 +1,98 @@
+#include "core/decepticon.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace decepticon::core {
+
+Decepticon::Decepticon(const DecepticonOptions &opts)
+    : opts_(opts), probes_(zoo::standardProbeSet())
+{
+}
+
+double
+Decepticon::trainExtractor(const zoo::ModelZoo &candidate_pool)
+{
+    fingerprint::DatasetOptions ds_opts = opts_.datasetOptions;
+    ds_opts.seed = opts_.seed;
+    const fingerprint::FingerprintDataset dataset =
+        fingerprint::buildDataset(candidate_pool, ds_opts);
+    assert(!dataset.samples.empty());
+
+    classNames_ = dataset.classNames;
+    classProfiles_.clear();
+    classProfiles_.reserve(classNames_.size());
+    for (const auto &name : classNames_) {
+        const zoo::ModelIdentity *m = candidate_pool.byName(name);
+        assert(m != nullptr);
+        classProfiles_.push_back(m->vocabProfile);
+    }
+
+    auto [train, test] = dataset.split(0.8, opts_.seed ^ 0x5eedULL);
+    cnn_ = std::make_unique<fingerprint::FingerprintCnn>(
+        dataset.resolution, dataset.numClasses(), opts_.seed ^ 0xc44ULL);
+    cnn_->train(train, opts_.cnnOptions);
+    return cnn_->evaluate(test);
+}
+
+IdentificationResult
+Decepticon::identify(const gpusim::KernelTrace &victim_trace,
+                     const std::function<std::vector<bool>()> &query_victim)
+{
+    assert(cnn_ && "trainExtractor must run first");
+    IdentificationResult result;
+
+    const tensor::Tensor image = fingerprint::fingerprintImage(
+        victim_trace, cnn_->resolution(),
+        opts_.datasetOptions.cropIrregular);
+    const std::vector<double> probs = cnn_->classProbabilities(image);
+    const std::vector<int> top = cnn_->topK(image, opts_.topK);
+    assert(!top.empty());
+
+    for (int c : top)
+        result.candidates.push_back(classNames_[static_cast<size_t>(c)]);
+    result.topProbability = probs[static_cast<std::size_t>(top[0])];
+
+    // Ambiguity: candidates whose probability is close to the top one
+    // cannot be separated by architectural hints alone (e.g. BERT vs
+    // CamemBERT from the same source). Fall back to query outputs.
+    std::vector<int> ambiguous;
+    for (int c : top) {
+        if (probs[static_cast<std::size_t>(c)] >=
+            opts_.ambiguityRatio * result.topProbability) {
+            ambiguous.push_back(c);
+        }
+    }
+
+    if (ambiguous.size() > 1 && query_victim) {
+        result.usedQueryProbes = true;
+        const std::vector<bool> victim_resp = query_victim();
+        int best = ambiguous[0];
+        std::size_t best_dist = probes_.size() + 1;
+        for (int c : ambiguous) {
+            const auto expected = zoo::responseVector(
+                classProfiles_[static_cast<std::size_t>(c)], probes_);
+            const std::size_t dist =
+                zoo::responseDistance(expected, victim_resp);
+            if (dist < best_dist) {
+                best_dist = dist;
+                best = c;
+            }
+        }
+        result.pretrainedName = classNames_[static_cast<std::size_t>(best)];
+    } else {
+        result.pretrainedName = classNames_[static_cast<std::size_t>(top[0])];
+    }
+    return result;
+}
+
+std::function<std::vector<bool>()>
+makeVictimQueryHook(const zoo::VocabularyProfile &victim_profile)
+{
+    return [victim_profile]() {
+        return zoo::responseVector(victim_profile,
+                                   zoo::standardProbeSet());
+    };
+}
+
+} // namespace decepticon::core

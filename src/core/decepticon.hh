@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The Decepticon pipeline (paper Fig. 1): level-1 pre-trained model
+ * identification from a victim's kernel execution trace, backed by
+ * the CNN fingerprint extractor and, when architectural hints are
+ * ambiguous, the input-dependent model variant detector driven by
+ * query outputs. The identified pre-trained model unlocks the level-2
+ * gray/white-box attacks (selective weight extraction, cloning,
+ * adversarial inputs) implemented in the extraction and attack
+ * libraries.
+ */
+
+#ifndef DECEPTICON_CORE_DECEPTICON_HH
+#define DECEPTICON_CORE_DECEPTICON_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fingerprint/cnn.hh"
+#include "fingerprint/dataset.hh"
+#include "gpusim/kernel.hh"
+#include "zoo/vocab.hh"
+#include "zoo/zoo.hh"
+
+namespace decepticon::core {
+
+/** Pipeline configuration. */
+struct DecepticonOptions
+{
+    fingerprint::DatasetOptions datasetOptions;
+    fingerprint::CnnTrainOptions cnnOptions;
+    /** CNN candidates forwarded to the variant detector. */
+    std::size_t topK = 3;
+    /**
+     * Candidates whose probability is within this factor of the top
+     * candidate count as ambiguous and trigger query probing.
+     */
+    double ambiguityRatio = 0.5;
+    std::uint64_t seed = 1;
+};
+
+/** Level-1 output. */
+struct IdentificationResult
+{
+    std::string pretrainedName;
+    double topProbability = 0.0;
+    std::vector<std::string> candidates; ///< CNN top-k, descending
+    bool usedQueryProbes = false;
+};
+
+/**
+ * Level-1 attacker state: a CNN trained over the candidate pool's
+ * fingerprints plus the probe-based variant detector.
+ */
+class Decepticon
+{
+  public:
+    explicit Decepticon(const DecepticonOptions &opts);
+
+    /**
+     * Train the pre-trained model extractor over the candidate pool
+     * (the attacker profiles every candidate on his own GPU).
+     * Returns held-out (80/20) classification accuracy.
+     */
+    double trainExtractor(const zoo::ModelZoo &candidate_pool);
+
+    /**
+     * Identify the victim's pre-trained model from an observed trace.
+     *
+     * @param victim_trace the captured kernel execution time series
+     * @param query_victim optional black-box query access: returns
+     *        the victim's correctness vector over standardProbeSet().
+     *        Used only when the CNN's top candidates are ambiguous.
+     */
+    IdentificationResult identify(
+        const gpusim::KernelTrace &victim_trace,
+        const std::function<std::vector<bool>()> &query_victim = {}) ;
+
+    /** The trained CNN (valid after trainExtractor). */
+    fingerprint::FingerprintCnn &cnn() { return *cnn_; }
+
+    /** Lineage names in label order. */
+    const std::vector<std::string> &classNames() const
+    {
+        return classNames_;
+    }
+
+  private:
+    DecepticonOptions opts_;
+    std::unique_ptr<fingerprint::FingerprintCnn> cnn_;
+    std::vector<std::string> classNames_;
+    std::vector<zoo::VocabularyProfile> classProfiles_;
+    std::vector<zoo::QueryProbe> probes_;
+};
+
+/**
+ * Convenience black-box query hook for a victim whose vocabulary
+ * profile is known to the simulation (not to the attacker).
+ */
+std::function<std::vector<bool>()>
+makeVictimQueryHook(const zoo::VocabularyProfile &victim_profile);
+
+} // namespace decepticon::core
+
+#endif // DECEPTICON_CORE_DECEPTICON_HH

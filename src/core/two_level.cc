@@ -1,0 +1,131 @@
+#include "core/two_level.hh"
+
+#include <cassert>
+#include <sstream>
+
+#include "transformer/trainer.hh"
+
+namespace decepticon::core {
+
+TwoLevelAttack::TwoLevelAttack(const TwoLevelOptions &opts) : opts_(opts)
+{
+}
+
+TwoLevelAttack::~TwoLevelAttack() = default;
+
+void
+TwoLevelAttack::addCandidate(
+    const zoo::ModelIdentity &identity,
+    std::shared_ptr<transformer::TransformerClassifier> weights)
+{
+    assert(identity.isPretrained &&
+           "candidates are pre-trained releases");
+    assert(weights != nullptr);
+    candidates_.add(identity);
+    weightsByName_[identity.name] = std::move(weights);
+    prepared_ = false;
+}
+
+double
+TwoLevelAttack::prepare()
+{
+    assert(!candidates_.models().empty());
+    pipeline_ = std::make_unique<Decepticon>(opts_.level1);
+    const double accuracy = pipeline_->trainExtractor(candidates_);
+    prepared_ = true;
+    return accuracy;
+}
+
+AttackReport
+TwoLevelAttack::execute(
+    transformer::TransformerClassifier &victim,
+    const gpusim::KernelTrace &victim_trace,
+    const std::function<std::vector<bool>()> &query_victim,
+    const transformer::Dataset &eval_set,
+    const std::vector<transformer::Example> &query_set,
+    const std::vector<transformer::Example> &adversarial_seeds)
+{
+    assert(prepared_ && "prepare() must run before execute()");
+    AttackReport report;
+
+    // ------------------------------------------------------------------
+    // Level 1: name the pre-trained parent.
+    // ------------------------------------------------------------------
+    report.identification =
+        pipeline_->identify(victim_trace, query_victim);
+    const auto it = weightsByName_.find(
+        report.identification.pretrainedName);
+    if (it == weightsByName_.end())
+        return report; // identified something outside the pool
+
+    // The attacker now "downloads" the identified pre-trained model.
+    const transformer::TransformerClassifier &pretrained = *it->second;
+
+    // ------------------------------------------------------------------
+    // Level 2: clone via selective weight extraction.
+    // ------------------------------------------------------------------
+    auto clone_result = extraction::ModelCloner::extract(
+        victim, pretrained, query_set, opts_.cloner);
+    report.probeStats = clone_result.probeStats;
+    report.extractionStats = clone_result.extractionStats;
+    report.layersExtracted = clone_result.layersExtracted;
+    report.clone = std::move(clone_result.clone);
+
+    // ------------------------------------------------------------------
+    // Clone quality.
+    // ------------------------------------------------------------------
+    const auto victim_eval =
+        transformer::Trainer::evaluate(victim, eval_set);
+    const auto clone_eval =
+        transformer::Trainer::evaluate(*report.clone, eval_set);
+    std::vector<int> victim_preds;
+    victim_preds.reserve(eval_set.size());
+    for (const auto &ex : eval_set.examples)
+        victim_preds.push_back(victim.predict(ex.tokens));
+    report.victimAccuracy = victim_eval.accuracy;
+    report.cloneAccuracy = clone_eval.accuracy;
+    report.cloneVictimAgreement = transformer::Trainer::agreement(
+        clone_eval.predictions, victim_preds);
+
+    // ------------------------------------------------------------------
+    // Adversarial follow-up with the clone.
+    // ------------------------------------------------------------------
+    report.adversarial = attack::evaluateTransfer(
+        victim, *report.clone, adversarial_seeds, opts_.adversarial);
+
+    report.complete = true;
+    return report;
+}
+
+std::string
+formatReport(const AttackReport &report)
+{
+    std::ostringstream oss;
+    oss << "identified parent: " << report.identification.pretrainedName
+        << (report.identification.usedQueryProbes
+                ? " (query probes used)"
+                : "")
+        << "\n";
+    if (!report.complete) {
+        oss << "attack incomplete: identified model not in the "
+               "candidate pool\n";
+        return oss.str();
+    }
+    oss << "layers extracted: " << report.layersExtracted
+        << "; bits read: " << report.probeStats.bitsRead
+        << " (hammer rounds: " << report.probeStats.hammerRounds
+        << ")\n"
+        << "weights skipped: "
+        << report.extractionStats.weightsSkippedFraction()
+        << "; bits excluded: "
+        << report.extractionStats.bitsExcludedFraction() << "\n"
+        << "victim accuracy " << report.victimAccuracy
+        << " | clone accuracy " << report.cloneAccuracy
+        << " | agreement " << report.cloneVictimAgreement << "\n"
+        << "adversarial success: " << report.adversarial.successRate()
+        << " (" << report.adversarial.fooled << "/"
+        << report.adversarial.eligible << ")\n";
+    return oss.str();
+}
+
+} // namespace decepticon::core

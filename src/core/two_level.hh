@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The complete two-level attack as a single API (paper Fig. 1, end to
+ * end): register the candidate pre-trained pool, prepare the level-1
+ * extractor, then execute against a black-box victim — identification
+ * from the captured trace (+ query probes), level-2 selective weight
+ * extraction from the identified parent, clone evaluation, and the
+ * adversarial follow-up attack. Produces a structured AttackReport.
+ */
+
+#ifndef DECEPTICON_CORE_TWO_LEVEL_HH
+#define DECEPTICON_CORE_TWO_LEVEL_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "attack/adversarial.hh"
+#include "core/decepticon.hh"
+#include "extraction/cloner.hh"
+#include "transformer/classifier.hh"
+#include "transformer/task.hh"
+
+namespace decepticon::core {
+
+/** Structured outcome of one full attack run. */
+struct AttackReport
+{
+    /** Level 1. */
+    IdentificationResult identification;
+
+    /** Level 2 (empty clone if identification had no weights). */
+    std::unique_ptr<transformer::TransformerClassifier> clone;
+    extraction::ProbeStats probeStats;
+    extraction::ExtractionStats extractionStats;
+    std::size_t layersExtracted = 0;
+
+    /** Clone quality on the evaluation set. */
+    double victimAccuracy = 0.0;
+    double cloneAccuracy = 0.0;
+    double cloneVictimAgreement = 0.0;
+
+    /** Adversarial follow-up. */
+    attack::TransferResult adversarial;
+
+    /** True when every stage produced a usable artifact. */
+    bool complete = false;
+};
+
+/** Options for the full pipeline. */
+struct TwoLevelOptions
+{
+    DecepticonOptions level1;
+    extraction::ClonerOptions cloner;
+    attack::AdversarialOptions adversarial;
+};
+
+/**
+ * Orchestrates the whole attack. Candidates are registered with their
+ * downloadable weights (the attacker can fetch any pre-trained model
+ * in his pool); the victim is reached only through its trace, its
+ * query API, and the bit-probe channel — never by value.
+ */
+class TwoLevelAttack
+{
+  public:
+    explicit TwoLevelAttack(const TwoLevelOptions &opts);
+    ~TwoLevelAttack();
+
+    /**
+     * Register one candidate pre-trained release: its public identity
+     * (architecture + software signature + vocabulary) and its
+     * weights.
+     */
+    void addCandidate(
+        const zoo::ModelIdentity &identity,
+        std::shared_ptr<transformer::TransformerClassifier> weights);
+
+    /**
+     * Train the level-1 extractor over the registered candidates.
+     * @return held-out fingerprint classification accuracy.
+     */
+    double prepare();
+
+    /**
+     * Run the attack.
+     *
+     * @param victim the black-box model (query + probe-channel access)
+     * @param victim_trace captured kernel execution time series
+     * @param query_victim query-output hook for variant detection
+     * @param eval_set labeled data for victim/clone quality metrics
+     * @param query_set unlabeled inputs for the extraction stopping
+     *        rule (agreement with the victim)
+     * @param adversarial_seeds inputs to perturb for the follow-up
+     */
+    AttackReport execute(
+        transformer::TransformerClassifier &victim,
+        const gpusim::KernelTrace &victim_trace,
+        const std::function<std::vector<bool>()> &query_victim,
+        const transformer::Dataset &eval_set,
+        const std::vector<transformer::Example> &query_set,
+        const std::vector<transformer::Example> &adversarial_seeds);
+
+    /** The underlying level-1 pipeline (valid after prepare()). */
+    Decepticon &level1() { return *pipeline_; }
+
+  private:
+    TwoLevelOptions opts_;
+    zoo::ModelZoo candidates_;
+    std::unordered_map<std::string,
+                       std::shared_ptr<transformer::TransformerClassifier>>
+        weightsByName_;
+    std::unique_ptr<Decepticon> pipeline_;
+    bool prepared_ = false;
+};
+
+/** Render a human-readable summary of a report. */
+std::string formatReport(const AttackReport &report);
+
+} // namespace decepticon::core
+
+#endif // DECEPTICON_CORE_TWO_LEVEL_HH

@@ -1,0 +1,80 @@
+#include "extraction/bitprobe.hh"
+
+#include <cassert>
+
+#include "extraction/ieee.hh"
+
+namespace decepticon::extraction {
+
+std::size_t
+ParamGroupOracle::layerSize(std::size_t layer) const
+{
+    assert(layer < groups_.size());
+    std::size_t n = 0;
+    for (const auto *p : groups_[layer])
+        n += p->size();
+    return n;
+}
+
+float
+ParamGroupOracle::weightValue(std::size_t layer, std::size_t index) const
+{
+    assert(layer < groups_.size());
+    for (const auto *p : groups_[layer]) {
+        if (index < p->size())
+            return p->value[index];
+        index -= p->size();
+    }
+    assert(false && "weight index out of range");
+    return 0.0f;
+}
+
+BitProbeChannel::BitProbeChannel(const VictimWeightOracle &oracle,
+                                 std::size_t rounds_per_bit,
+                                 double bit_error_rate, std::uint64_t seed)
+    : oracle_(oracle),
+      roundsPerBit_(rounds_per_bit),
+      bitErrorRate_(bit_error_rate),
+      rng_(seed)
+{
+    assert(rounds_per_bit >= 1);
+    assert(bit_error_rate >= 0.0 && bit_error_rate < 1.0);
+}
+
+bool
+BitProbeChannel::rawBit(std::size_t layer, std::size_t index, int word_bit)
+{
+    assert(word_bit >= 0 && word_bit <= 31);
+    const float v = oracle_.weightValue(layer, index);
+    bool bit = (floatToBits(v) >> word_bit) & 1u;
+    if (bitErrorRate_ > 0.0 && rng_.bernoulli(bitErrorRate_))
+        bit = !bit;
+    return bit;
+}
+
+void
+BitProbeChannel::charge(std::size_t rounds)
+{
+    ++stats_.bitsRead;
+    stats_.hammerRounds += rounds;
+}
+
+bool
+BitProbeChannel::readBit(std::size_t layer, std::size_t index, int word_bit)
+{
+    charge(roundsPerBit_);
+    return rawBit(layer, index, word_bit);
+}
+
+float
+BitProbeChannel::readFullWeight(std::size_t layer, std::size_t index)
+{
+    std::uint32_t bits = 0;
+    for (int b = 31; b >= 0; --b) {
+        if (readBit(layer, index, b))
+            bits |= 1u << b;
+    }
+    return bitsFromFloat(bits);
+}
+
+} // namespace decepticon::extraction

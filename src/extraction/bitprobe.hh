@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Rowhammer-style bit-probe side channel (the DeepSteal [40] primitive
+ * the paper builds on). The channel exposes single bits of the victim
+ * model's weight memory at an accounted cost; Decepticon's selective
+ * extraction wins by reading orders of magnitude fewer bits than a
+ * full-weight attack. The victim's weights are reachable only through
+ * this interface, never by value, mirroring the black-box threat
+ * model.
+ */
+
+#ifndef DECEPTICON_EXTRACTION_BITPROBE_HH
+#define DECEPTICON_EXTRACTION_BITPROBE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/param.hh"
+#include "util/rng.hh"
+#include "zoo/weight_store.hh"
+
+namespace decepticon::extraction {
+
+/**
+ * Addressable view of a victim's weight memory. Layer indices
+ * [0, numLayers) address encoder layers; layer == numLayers addresses
+ * the task head.
+ */
+class VictimWeightOracle
+{
+  public:
+    virtual ~VictimWeightOracle() = default;
+
+    /** Number of encoder layers. */
+    virtual std::size_t numLayers() const = 0;
+
+    /** Weights in the given layer (numLayers() addresses the head). */
+    virtual std::size_t layerSize(std::size_t layer) const = 0;
+
+    /** The raw weight value (used only inside the channel). */
+    virtual float weightValue(std::size_t layer,
+                              std::size_t index) const = 0;
+};
+
+/** Oracle over a zoo::WeightStore. */
+class WeightStoreOracle : public VictimWeightOracle
+{
+  public:
+    explicit WeightStoreOracle(const zoo::WeightStore &store)
+        : store_(store)
+    {
+    }
+
+    std::size_t numLayers() const override { return store_.layers.size(); }
+
+    std::size_t
+    layerSize(std::size_t layer) const override
+    {
+        return layer == store_.layers.size() ? store_.head.w.size()
+                                             : store_.layers[layer].w.size();
+    }
+
+    float
+    weightValue(std::size_t layer, std::size_t index) const override
+    {
+        return layer == store_.layers.size() ? store_.head.w[index]
+                                             : store_.layers[layer].w[index];
+    }
+
+  private:
+    const zoo::WeightStore &store_;
+};
+
+/**
+ * Oracle over grouped nn parameters (e.g. a TransformerClassifier's
+ * per-encoder parameter groups plus a head group). Each group's
+ * parameters are addressed as one flat concatenated layer.
+ */
+class ParamGroupOracle : public VictimWeightOracle
+{
+  public:
+    /** groups[i] is encoder i; the last group is the task head. */
+    explicit ParamGroupOracle(std::vector<nn::ParamRefs> groups)
+        : groups_(std::move(groups))
+    {
+    }
+
+    std::size_t numLayers() const override { return groups_.size() - 1; }
+
+    std::size_t layerSize(std::size_t layer) const override;
+
+    float weightValue(std::size_t layer, std::size_t index) const override;
+
+  private:
+    std::vector<nn::ParamRefs> groups_;
+};
+
+/** Cost accounting of a probe session. */
+struct ProbeStats
+{
+    std::size_t bitsRead = 0;
+    /** Rowhammer rounds spent (bitsRead * roundsPerBit). */
+    std::size_t hammerRounds = 0;
+};
+
+/**
+ * The bit-read side channel. Each readBit() costs roundsPerBit
+ * rowhammer rounds and can flip with bitErrorRate probability
+ * (hammering is not perfectly reliable). Subclasses may model
+ * physical constraints (DRAM rows without aggressors, warm-row cost
+ * amortization — see dram.hh).
+ */
+class BitProbeChannel
+{
+  public:
+    BitProbeChannel(const VictimWeightOracle &oracle,
+                    std::size_t rounds_per_bit = 1,
+                    double bit_error_rate = 0.0, std::uint64_t seed = 0);
+
+    virtual ~BitProbeChannel() = default;
+
+    /**
+     * Whether the weight at (layer, index) is physically reachable by
+     * the side channel. The base channel reaches everything.
+     */
+    virtual bool
+    canRead(std::size_t layer, std::size_t index) const
+    {
+        (void)layer;
+        (void)index;
+        return true;
+    }
+
+    /**
+     * Read one bit of the victim weight at (layer, index).
+     * @param word_bit bit index in the float32 word, 31 = sign.
+     * @pre canRead(layer, index)
+     */
+    virtual bool readBit(std::size_t layer, std::size_t index,
+                         int word_bit);
+
+    /** Read all 32 bits of a weight (last-layer full extraction). */
+    float readFullWeight(std::size_t layer, std::size_t index);
+
+    const ProbeStats &stats() const { return stats_; }
+
+    void resetStats() { stats_ = ProbeStats{}; }
+
+    const VictimWeightOracle &oracle() const { return oracle_; }
+
+  protected:
+    /** Fetch the (possibly error-flipped) bit without cost charging. */
+    bool rawBit(std::size_t layer, std::size_t index, int word_bit);
+
+    /** Account bitsRead and the given number of hammer rounds. */
+    void charge(std::size_t rounds);
+
+  private:
+    const VictimWeightOracle &oracle_;
+    std::size_t roundsPerBit_;
+    double bitErrorRate_;
+    util::Rng rng_;
+    ProbeStats stats_;
+};
+
+} // namespace decepticon::extraction
+
+#endif // DECEPTICON_EXTRACTION_BITPROBE_HH

@@ -1,0 +1,155 @@
+#include "extraction/cloner.hh"
+
+#include <cassert>
+
+#include "transformer/trainer.hh"
+
+namespace decepticon::extraction {
+
+std::vector<nn::ParamRefs>
+victimParamGroups(transformer::TransformerClassifier &victim)
+{
+    std::vector<nn::ParamRefs> groups;
+    // Group 0: embeddings (token table + positions).
+    nn::ParamRefs emb;
+    {
+        nn::ParamRefs all = victim.backboneParams();
+        nn::ParamRefs enc_all;
+        for (std::size_t l = 0; l < victim.numLayers(); ++l) {
+            auto ps = victim.encoderParams(l);
+            enc_all.insert(enc_all.end(), ps.begin(), ps.end());
+        }
+        for (auto *p : all) {
+            bool in_encoder = false;
+            for (auto *q : enc_all) {
+                if (p == q) {
+                    in_encoder = true;
+                    break;
+                }
+            }
+            if (!in_encoder)
+                emb.push_back(p);
+        }
+    }
+    groups.push_back(std::move(emb));
+    for (std::size_t l = 0; l < victim.numLayers(); ++l)
+        groups.push_back(victim.encoderParams(l));
+    groups.push_back(victim.headParams());
+    return groups;
+}
+
+std::vector<float>
+groupWeights(const nn::ParamRefs &group)
+{
+    std::vector<float> out;
+    for (const auto *p : group)
+        out.insert(out.end(), p->value.vec().begin(), p->value.vec().end());
+    return out;
+}
+
+void
+setGroupWeights(const nn::ParamRefs &group, const std::vector<float> &w)
+{
+    std::size_t off = 0;
+    for (auto *p : group) {
+        assert(off + p->size() <= w.size());
+        std::copy(w.begin() + static_cast<long>(off),
+                  w.begin() + static_cast<long>(off + p->size()),
+                  p->value.vec().begin());
+        off += p->size();
+    }
+    assert(off == w.size());
+}
+
+CloneResult
+ModelCloner::extract(transformer::TransformerClassifier &victim,
+                     const transformer::TransformerClassifier &pretrained,
+                     const std::vector<transformer::Example> &query_set,
+                     const ClonerOptions &opts)
+{
+    using transformer::Trainer;
+
+    CloneResult result;
+
+    // The victim's weight memory, reachable only via the bit channel
+    // (idealized, or DRAM-constrained when a geometry is configured).
+    auto victim_groups = victimParamGroups(victim);
+    ParamGroupOracle oracle(victim_groups);
+    std::unique_ptr<DramWeightLayout> dram_layout;
+    std::unique_ptr<BitProbeChannel> channel_holder;
+    if (opts.dramGeometry) {
+        dram_layout = std::make_unique<DramWeightLayout>(
+            oracle, *opts.dramGeometry, opts.dramSeed);
+        channel_holder = std::make_unique<DramBitProbeChannel>(
+            oracle, *dram_layout);
+    } else {
+        channel_holder = std::make_unique<BitProbeChannel>(oracle);
+    }
+    BitProbeChannel &channel = *channel_holder;
+    SelectiveWeightExtractor extractor(opts.policy);
+
+    // Clone starts as the pre-trained model with a head of the
+    // victim's output width (the attacker sees the output dimension
+    // from query responses).
+    auto clone = std::make_unique<transformer::TransformerClassifier>(
+        pretrained);
+    const std::size_t num_classes = victim.config().numClasses;
+    clone->resetHead(num_classes, /*seed=*/42);
+
+    const std::size_t num_layers = clone->numLayers();
+    const std::size_t head_group = num_layers + 1;
+
+    auto clone_groups = victimParamGroups(*clone);
+
+    // Victim predictions on the query set (black-box API access).
+    std::vector<int> victim_preds;
+    victim_preds.reserve(query_set.size());
+    for (const auto &ex : query_set)
+        victim_preds.push_back(victim.predict(ex.tokens));
+    result.victimQueries += query_set.size();
+
+    auto agreement_now = [&]() {
+        std::vector<int> clone_preds;
+        clone_preds.reserve(query_set.size());
+        for (const auto &ex : query_set)
+            clone_preds.push_back(clone->predict(ex.tokens));
+        return Trainer::agreement(clone_preds, victim_preds);
+    };
+
+    // Step 1: full extraction of the baseline-less task head.
+    {
+        const std::size_t head_size = oracle.layerSize(head_group);
+        auto head = extractor.extractHead(channel, head_group, head_size,
+                                          result.extractionStats);
+        setGroupWeights(clone_groups[head_group], head);
+        result.agreementTrajectory.push_back(agreement_now());
+    }
+
+    // Step 2: encoder layers, last to first (Table 1 ordering).
+    for (std::size_t l = num_layers; l >= 1; --l) {
+        if (result.agreementTrajectory.back() >= opts.agreementTarget)
+            break;
+        const auto base = groupWeights(clone_groups[l]);
+        auto extracted = extractor.extractLayer(base, channel, l,
+                                                result.extractionStats);
+        setGroupWeights(clone_groups[l], extracted);
+        ++result.layersExtracted;
+        result.agreementTrajectory.push_back(agreement_now());
+    }
+
+    // Step 3: embeddings, only if agreement is still short.
+    if (opts.extractEmbeddings &&
+        result.agreementTrajectory.back() < opts.agreementTarget) {
+        const auto base = groupWeights(clone_groups[0]);
+        auto extracted = extractor.extractLayer(base, channel, 0,
+                                                result.extractionStats);
+        setGroupWeights(clone_groups[0], extracted);
+        result.agreementTrajectory.push_back(agreement_now());
+    }
+
+    result.probeStats = channel.stats();
+    result.clone = std::move(clone);
+    return result;
+}
+
+} // namespace decepticon::extraction

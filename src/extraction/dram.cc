@@ -1,0 +1,105 @@
+#include "extraction/dram.hh"
+
+#include <cassert>
+
+namespace decepticon::extraction {
+
+DramWeightLayout::DramWeightLayout(const VictimWeightOracle &oracle,
+                                   const DramGeometry &geometry,
+                                   std::uint64_t seed)
+    : geometry_(geometry)
+{
+    assert(geometry.rowBytes >= 64);
+    assert(geometry.hammerableRowFraction >= 0.0 &&
+           geometry.hammerableRowFraction <= 1.0);
+
+    // Tensors are laid out back to back, layer by layer (head last).
+    std::size_t offset = 0;
+    const std::size_t groups = oracle.numLayers() + 1;
+    layerByteBase_.reserve(groups);
+    for (std::size_t l = 0; l < groups; ++l) {
+        layerByteBase_.push_back(offset);
+        offset += 4 * oracle.layerSize(l);
+    }
+    totalRows_ = (offset + geometry.rowBytes - 1) / geometry.rowBytes;
+
+    // Which rows have usable aggressor neighbours is a property of
+    // the surrounding allocation; model it as a seeded Bernoulli mask.
+    util::Rng rng(seed);
+    rowHammerable_.resize(totalRows_);
+    for (std::size_t r = 0; r < totalRows_; ++r)
+        rowHammerable_[r] =
+            rng.uniform() < geometry.hammerableRowFraction;
+}
+
+std::size_t
+DramWeightLayout::flatByteOffset(std::size_t layer,
+                                 std::size_t index) const
+{
+    assert(layer < layerByteBase_.size());
+    return layerByteBase_[layer] + 4 * index;
+}
+
+DramAddress
+DramWeightLayout::addressOf(std::size_t layer, std::size_t index) const
+{
+    const std::size_t byte = flatByteOffset(layer, index);
+    DramAddress addr;
+    const std::size_t global_row = byte / geometry_.rowBytes;
+    addr.row = global_row;
+    addr.bank = global_row % geometry_.banks;
+    addr.column = byte % geometry_.rowBytes;
+    return addr;
+}
+
+bool
+DramWeightLayout::hammerable(std::size_t layer, std::size_t index) const
+{
+    const std::size_t row =
+        flatByteOffset(layer, index) / geometry_.rowBytes;
+    assert(row < rowHammerable_.size());
+    return rowHammerable_[row];
+}
+
+std::size_t
+DramWeightLayout::hammerableRowCount() const
+{
+    std::size_t n = 0;
+    for (bool h : rowHammerable_)
+        n += h ? 1 : 0;
+    return n;
+}
+
+DramBitProbeChannel::DramBitProbeChannel(const VictimWeightOracle &oracle,
+                                         const DramWeightLayout &layout,
+                                         double bit_error_rate,
+                                         std::uint64_t seed)
+    : BitProbeChannel(oracle, layout.geometry().roundsPerBitCold,
+                      bit_error_rate, seed),
+      layout_(layout)
+{
+}
+
+bool
+DramBitProbeChannel::canRead(std::size_t layer, std::size_t index) const
+{
+    return layout_.hammerable(layer, index);
+}
+
+bool
+DramBitProbeChannel::readBit(std::size_t layer, std::size_t index,
+                             int word_bit)
+{
+    assert(canRead(layer, index));
+    const DramAddress addr = layout_.addressOf(layer, index);
+    const bool warm =
+        hasLastRow_ && addr.bank == lastBank_ && addr.row == lastRow_;
+    charge(warm ? layout_.geometry().roundsPerBitWarm
+                : layout_.geometry().roundsPerBitCold);
+    hasLastRow_ = true;
+    lastBank_ = addr.bank;
+    lastRow_ = addr.row;
+    return rawBit(layer, index, word_bit);
+}
+
+} // namespace decepticon::extraction

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * DRAM geometry model for the rowhammer side channel. The paper
+ * builds on DeepSteal [40], where bits are exfiltrated by hammering
+ * aggressor rows adjacent to the victim row holding a weight. Two
+ * physical facts shape the attack's cost and coverage:
+ *
+ *  - a weight's bits live at a (bank, row, column) address determined
+ *    by the tensor's layout in memory — the attacker learns addresses
+ *    from the memory-probing side channel of the threat model;
+ *  - only rows whose neighbours the attacker can occupy are
+ *    hammerable, and consecutive reads within one row are cheaper
+ *    than row-to-row jumps (aggressor setup is amortized).
+ *
+ * The layout is deterministic per victim, so experiments are
+ * reproducible.
+ */
+
+#ifndef DECEPTICON_EXTRACTION_DRAM_HH
+#define DECEPTICON_EXTRACTION_DRAM_HH
+
+#include <cstdint>
+
+#include "extraction/bitprobe.hh"
+
+namespace decepticon::extraction {
+
+/** DDR4-style geometry parameters. */
+struct DramGeometry
+{
+    /** Bytes per DRAM row (a typical 8 KB row). */
+    std::size_t rowBytes = 8192;
+    std::size_t banks = 16;
+    /** Fraction of rows with usable aggressor neighbours. */
+    double hammerableRowFraction = 1.0;
+    /** Hammer rounds to read a bit in a freshly targeted row. */
+    std::size_t roundsPerBitCold = 64;
+    /** Rounds per bit when the previous read hit the same row. */
+    std::size_t roundsPerBitWarm = 16;
+};
+
+/** Physical location of one weight. */
+struct DramAddress
+{
+    std::size_t bank = 0;
+    std::size_t row = 0;
+    std::size_t column = 0; ///< byte offset inside the row
+};
+
+/**
+ * Maps (layer, index) weight coordinates to DRAM addresses for a
+ * victim whose tensors are stored contiguously layer by layer, and
+ * answers hammerability queries.
+ */
+class DramWeightLayout
+{
+  public:
+    /**
+     * @param oracle defines the victim's layer sizes
+     * @param geometry DRAM parameters
+     * @param seed scrambles which rows lack aggressors (allocation is
+     *        system-dependent)
+     */
+    DramWeightLayout(const VictimWeightOracle &oracle,
+                     const DramGeometry &geometry, std::uint64_t seed);
+
+    /** Address of a weight (float32 = 4 bytes each). */
+    DramAddress addressOf(std::size_t layer, std::size_t index) const;
+
+    /** Whether the row holding this weight can be hammered. */
+    bool hammerable(std::size_t layer, std::size_t index) const;
+
+    /** Total rows occupied by the victim's weights. */
+    std::size_t rowCount() const { return totalRows_; }
+
+    /** Number of those rows that are hammerable. */
+    std::size_t hammerableRowCount() const;
+
+    const DramGeometry &geometry() const { return geometry_; }
+
+  private:
+    std::size_t flatByteOffset(std::size_t layer,
+                               std::size_t index) const;
+
+    DramGeometry geometry_;
+    std::vector<std::size_t> layerByteBase_; ///< per-layer start offset
+    std::size_t totalRows_ = 0;
+    std::vector<bool> rowHammerable_;
+};
+
+/**
+ * A bit-probe channel that respects DRAM physics: reads on
+ * non-hammerable rows fail (canRead() is false), and costs follow the
+ * cold/warm row model. Drop-in replacement for BitProbeChannel in the
+ * selective extractor.
+ */
+class DramBitProbeChannel : public BitProbeChannel
+{
+  public:
+    DramBitProbeChannel(const VictimWeightOracle &oracle,
+                        const DramWeightLayout &layout,
+                        double bit_error_rate = 0.0,
+                        std::uint64_t seed = 0);
+
+    bool canRead(std::size_t layer, std::size_t index) const override;
+
+    bool readBit(std::size_t layer, std::size_t index,
+                 int word_bit) override;
+
+  private:
+    const DramWeightLayout &layout_;
+    bool hasLastRow_ = false;
+    std::size_t lastBank_ = 0;
+    std::size_t lastRow_ = 0;
+};
+
+} // namespace decepticon::extraction
+
+#endif // DECEPTICON_EXTRACTION_DRAM_HH

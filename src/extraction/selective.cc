@@ -1,0 +1,230 @@
+#include "extraction/selective.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "extraction/ieee.hh"
+
+namespace decepticon::extraction {
+
+double
+ExtractionPolicy::estimatedDist(double base_weight) const
+{
+    const double m = std::fabs(base_weight) / wRef;
+    return baseDist * (1.0 + uShapeAlpha * m * m);
+}
+
+double
+ExtractionStats::bitsExcludedFraction() const
+{
+    const std::size_t all_bits = 32 * totalWeights;
+    if (all_bits == 0)
+        return 0.0;
+    const std::size_t read = bitsChecked + 32 * fullWeightsRead;
+    return 1.0 - static_cast<double>(read) /
+                     static_cast<double>(all_bits);
+}
+
+double
+ExtractionStats::weightsSkippedFraction() const
+{
+    return totalWeights == 0 ? 0.0
+                             : static_cast<double>(weightsSkipped) /
+                                   static_cast<double>(totalWeights);
+}
+
+double
+ExtractionStats::correctFraction() const
+{
+    return auditedWeights == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(extractionErrors) /
+                           static_cast<double>(auditedWeights);
+}
+
+void
+ExtractionStats::merge(const ExtractionStats &other)
+{
+    totalWeights += other.totalWeights;
+    weightsSkipped += other.weightsSkipped;
+    weightsChecked += other.weightsChecked;
+    bitsChecked += other.bitsChecked;
+    fullWeightsRead += other.fullWeightsRead;
+    unreadableWeights += other.unreadableWeights;
+    auditedWeights += other.auditedWeights;
+    extractionErrors += other.extractionErrors;
+    signFlips += other.signFlips;
+}
+
+float
+SelectiveWeightExtractor::extractWeight(float base,
+                                        BitProbeChannel &channel,
+                                        std::size_t layer,
+                                        std::size_t index,
+                                        ExtractionStats &stats) const
+{
+    ++stats.totalWeights;
+    const double abs_base = std::fabs(static_cast<double>(base));
+    const double est = policy_.estimatedDist(abs_base);
+
+    // Step 1: tiny weights, or weights whose expected update is below
+    // the significance threshold, keep the pre-trained value.
+    if (abs_base < policy_.skipThreshold || est < policy_.significance) {
+        ++stats.weightsSkipped;
+        return base;
+    }
+
+    // Physically unreachable weights (e.g. DRAM rows without usable
+    // aggressors) also keep the baseline — the attacker cannot do
+    // better without the channel.
+    if (!channel.canRead(layer, index)) {
+        ++stats.unreadableWeights;
+        return base;
+    }
+
+    if (base == 0.0f || !std::isfinite(base)) {
+        ++stats.weightsChecked;
+        return base; // degenerate exponent; nothing to splice
+    }
+
+    // Algorithm 1 presumes the sign and exponent fields survive
+    // fine-tuning. When the expected update is comparable to the
+    // weight itself that premise fails (the value can cross a binade
+    // or flip sign), and the attacker — who knows both the baseline
+    // and the estimate — falls back to a full read. Such weights are
+    // rare for encoder matrices but common in embedding tables.
+    if (est >= 0.5 * abs_base) {
+        ++stats.fullWeightsRead;
+        ++stats.weightsChecked;
+        return channel.readFullWeight(layer, index);
+    }
+
+    ++stats.weightsChecked;
+
+    // Step 2: read the fraction bits whose place values cover the
+    // estimated gap. The window starts at the most significant
+    // position whose place value fits within twice the estimated gap
+    // (so the residue modulus exceeds any expected update) and spans
+    // maxBitsPerWeight positions.
+    // Quantized victims expose fewer fraction bits (Sec. 8).
+    const int max_k = std::min(23, policy_.storageFormat.fractionBits);
+    int k0 = 1;
+    while (k0 <= max_k && fractionBitPlaceValue(base, k0) > est)
+        ++k0;
+    double observed = 0.0;
+    double base_window = 0.0;
+    int bits_read = 0;
+    for (int i = 0; i < policy_.maxBitsPerWeight && k0 + i <= max_k;
+         ++i) {
+        const double pv = fractionBitPlaceValue(base, k0 + i);
+        if (pv < policy_.significance / 4.0)
+            break; // remaining bits are below the significance floor
+        const bool bit = channel.readBit(
+            layer, index, fractionPosToWordBit(k0 + i));
+        ++stats.bitsChecked;
+        ++bits_read;
+        if (bit)
+            observed += pv;
+        if (fractionBit(base, k0 + i))
+            base_window += pv;
+    }
+    if (bits_read == 0)
+        return base;
+
+    // Decode: the victim's value is congruent to the observed window
+    // modulo the place value just above it; among the representatives
+    // of that residue class, the one nearest the baseline is the
+    // victim (valid whenever the true update stays within half the
+    // modulus — the calibrated expectation). This handles fraction
+    // carries that naive bit splicing would corrupt.
+    const double modulus = k0 == 1 ? leadingPlaceValue(base)
+                                   : fractionBitPlaceValue(base, k0 - 1);
+    double delta = observed - base_window;
+    delta -= modulus * std::round(delta / modulus);
+    // The delta applies to the magnitude; the sign field is assumed
+    // stable (99% of weights keep their sign, Sec. 6.1.1).
+    const double magnitude = std::fabs(static_cast<double>(base)) + delta;
+    const float clone = static_cast<float>(
+        std::copysign(magnitude, static_cast<double>(base)));
+    return clone;
+}
+
+std::vector<float>
+SelectiveWeightExtractor::extractLayer(const std::vector<float> &base,
+                                       BitProbeChannel &channel,
+                                       std::size_t layer,
+                                       ExtractionStats &stats) const
+{
+    std::vector<float> out;
+    out.reserve(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        out.push_back(extractWeight(base[i], channel, layer, i, stats));
+    return out;
+}
+
+std::vector<float>
+SelectiveWeightExtractor::extractHead(BitProbeChannel &channel,
+                                      std::size_t head_layer,
+                                      std::size_t count,
+                                      ExtractionStats &stats) const
+{
+    std::vector<float> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        ++stats.totalWeights;
+        if (!channel.canRead(head_layer, i)) {
+            // No baseline exists for the head; an unreachable head
+            // weight stays zero (a dead output connection).
+            ++stats.unreadableWeights;
+            out.push_back(0.0f);
+            continue;
+        }
+        out.push_back(channel.readFullWeight(head_layer, i));
+        ++stats.fullWeightsRead;
+    }
+    return out;
+}
+
+zoo::WeightStore
+quantizeStore(const zoo::WeightStore &store, const FloatFormat &fmt)
+{
+    zoo::WeightStore out = store;
+    for (auto &layer : out.layers)
+        for (auto &w : layer.w)
+            w = quantizeTo(w, fmt);
+    for (auto &w : out.head.w)
+        w = quantizeTo(w, fmt);
+    return out;
+}
+
+void
+SelectiveWeightExtractor::auditAccuracy(const std::vector<float> &extracted,
+                                        const std::vector<float> &actual,
+                                        const std::vector<float> &base,
+                                        ExtractionStats &stats) const
+{
+    assert(extracted.size() == actual.size());
+    assert(base.size() == actual.size());
+    for (std::size_t i = 0; i < extracted.size(); ++i) {
+        ++stats.auditedWeights;
+        const double residual =
+            std::fabs(static_cast<double>(extracted[i]) - actual[i]);
+        // The estimated distance is a typical-update scale; updates up
+        // to ~3x of it are still "expected" (paper: gaps larger than
+        // the expected amount count as incorrect extractions).
+        const double budget = std::max(
+            policy_.errorTolerance,
+            3.0 * policy_.estimatedDist(std::fabs(
+                      static_cast<double>(base[i]))));
+        const bool sign_flip =
+            std::signbit(base[i]) != std::signbit(actual[i]) &&
+            std::fabs(static_cast<double>(actual[i])) >
+                policy_.skipThreshold;
+        if (sign_flip)
+            ++stats.signFlips;
+        if (residual > budget || sign_flip)
+            ++stats.extractionErrors;
+    }
+}
+
+} // namespace decepticon::extraction

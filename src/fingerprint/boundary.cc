@@ -1,0 +1,129 @@
+#include "fingerprint/boundary.hh"
+
+#include <algorithm>
+
+#include "trace/image.hh"
+
+namespace decepticon::fingerprint {
+
+namespace {
+
+struct Run
+{
+    std::size_t begin; // first matching index
+    std::size_t end;   // one past last matching index
+};
+
+/** Maximal runs of i where seq[i] == seq[i+p]. */
+std::vector<Run>
+selfMatchRuns(const std::vector<int> &seq, std::size_t p)
+{
+    std::vector<Run> runs;
+    const std::size_t n = seq.size();
+    std::size_t i = 0;
+    while (i + p < n) {
+        if (seq[i] == seq[i + p]) {
+            std::size_t s = i;
+            while (i + p < n && seq[i] == seq[i + p])
+                ++i;
+            runs.push_back({s, i});
+        } else {
+            ++i;
+        }
+    }
+    return runs;
+}
+
+} // anonymous namespace
+
+BoundaryResult
+detectLayerBoundaries(const gpusim::KernelTrace &trace)
+{
+    BoundaryResult best;
+    const std::vector<int> seq = trace.kernelIdSequence();
+    const std::size_t n = seq.size();
+    if (n < 4)
+        return best;
+
+    const std::size_t max_period = std::min<std::size_t>(n / 2, 600);
+
+    std::size_t best_coverage = 0;
+    std::vector<std::pair<std::size_t, BoundaryResult>> candidates;
+
+    for (std::size_t p = 2; p <= max_period; ++p) {
+        BoundaryResult cand;
+        cand.period = p;
+        std::size_t coverage = 0;
+        for (const Run &run : selfMatchRuns(seq, p)) {
+            const std::size_t len = run.end - run.begin;
+            if (len < p)
+                continue; // fewer than two repetitions
+            cand.regions.emplace_back(run.begin, run.end + p);
+            cand.repetitions += len / p + 1;
+            coverage += len + p;
+        }
+        if (cand.repetitions < 2)
+            continue;
+        candidates.emplace_back(coverage, cand);
+        best_coverage = std::max(best_coverage, coverage);
+    }
+    if (candidates.empty())
+        return best;
+
+    // Prefer the shortest period whose coverage is essentially as good
+    // as the best (longer multiples of the true period cover slightly
+    // less; unrelated short periods cover far less).
+    const auto threshold =
+        static_cast<std::size_t>(0.98 * static_cast<double>(best_coverage));
+    for (const auto &[coverage, cand] : candidates) {
+        if (coverage >= threshold) {
+            best = cand;
+            best.coverage = static_cast<double>(coverage) /
+                            static_cast<double>(n);
+            break;
+        }
+    }
+
+    // An encoder region dominates its trace; short accidental
+    // repetitions inside a single group (repeated decoration kernels)
+    // must not count as layer structure.
+    if (best.coverage < 0.25)
+        return BoundaryResult{};
+
+    for (const auto &[begin, end] : best.regions) {
+        for (std::size_t i = begin; i < end && i < trace.records.size();
+             ++i) {
+            best.peakDurationUs =
+                std::max(best.peakDurationUs, trace.records[i].duration());
+        }
+    }
+    return best;
+}
+
+gpusim::KernelTrace
+cropToEncoderRegion(const gpusim::KernelTrace &trace)
+{
+    const BoundaryResult res = detectLayerBoundaries(trace);
+    if (!res.found())
+        return trace;
+
+    gpusim::KernelTrace out;
+    out.kernelNames = trace.kernelNames;
+    double t = 0.0;
+    for (const auto &[begin, end] : res.regions) {
+        const gpusim::KernelTrace part =
+            trace::cropRecords(trace, begin,
+                               std::min(end, trace.records.size()));
+        for (gpusim::KernelRecord rec : part.records) {
+            const double dur = rec.duration();
+            rec.tStart += t;
+            rec.tEnd = rec.tStart + dur;
+            out.records.push_back(rec);
+        }
+        if (!part.records.empty())
+            t = out.records.back().tEnd + 2.0;
+    }
+    return out;
+}
+
+} // namespace decepticon::fingerprint

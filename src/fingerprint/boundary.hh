@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Layer boundary identification (paper Sec. 5.4.1, Fig. 10): detect
+ * the repeated kernel group inside a trace, count its repetitions
+ * (= number of encoders), and read the peak kernel duration (= hidden
+ * size proxy). Also provides the corner-case pre-processing of
+ * Sec. 5.4.3: cropping a trace to its periodic encoder region(s) when
+ * XLA bursts or other optimizations break the simple global pattern.
+ */
+
+#ifndef DECEPTICON_FINGERPRINT_BOUNDARY_HH
+#define DECEPTICON_FINGERPRINT_BOUNDARY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/kernel.hh"
+
+namespace decepticon::fingerprint {
+
+/** Output of periodic-structure detection on one trace. */
+struct BoundaryResult
+{
+    /** Detected kernel-group period (kernels per encoder). */
+    std::size_t period = 0;
+    /** Detected number of group repetitions (= encoder count). */
+    std::size_t repetitions = 0;
+    /** Peak kernel duration within the periodic region (us). */
+    double peakDurationUs = 0.0;
+    /** Record-index ranges [begin, end) of each periodic region. */
+    std::vector<std::pair<std::size_t, std::size_t>> regions;
+    /** Fraction of trace records covered by the periodic regions. */
+    double coverage = 0.0;
+
+    bool found() const { return period > 0 && repetitions >= 2; }
+};
+
+/**
+ * Detect the repeating kernel group of a trace from its kernel-id
+ * sequence. Works without any ground-truth phase information: for each
+ * candidate period, maximal self-matching runs are located and the
+ * period explaining the most records (preferring the shortest such
+ * period) wins. Traces with an XLA burst yield two regions whose
+ * repetitions are summed.
+ */
+BoundaryResult detectLayerBoundaries(const gpusim::KernelTrace &trace);
+
+/**
+ * Crop a trace to its detected periodic (encoder) region, dropping
+ * prologue, XLA bursts, and the output layer — the pre-processing
+ * applied before CNN classification for irregular traces (Fig. 12).
+ * Returns the dominant region's records; the input trace unchanged if
+ * no periodicity is found.
+ */
+gpusim::KernelTrace cropToEncoderRegion(const gpusim::KernelTrace &trace);
+
+} // namespace decepticon::fingerprint
+
+#endif // DECEPTICON_FINGERPRINT_BOUNDARY_HH

@@ -1,0 +1,194 @@
+#include "fingerprint/cnn.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "nn/optim.hh"
+#include "util/rng.hh"
+
+namespace decepticon::fingerprint {
+
+namespace {
+
+/** Output size of a valid conv/pool stage: (in - k) / s + 1. */
+std::size_t
+stageOut(std::size_t in, std::size_t k, std::size_t s)
+{
+    assert(in >= k);
+    return (in - k) / s + 1;
+}
+
+} // anonymous namespace
+
+FingerprintCnn::FingerprintCnn(std::size_t resolution,
+                               std::size_t num_classes, std::uint64_t seed)
+    : resolution_(resolution),
+      numClasses_(num_classes),
+      flatDim_(0),
+      rng_(seed),
+      conv1_("cnn.conv1", 1, 6, 5, rng_),
+      pool1_(4, 4),
+      conv2_("cnn.conv2", 6, 16, 5, rng_),
+      pool2_(2, 2),
+      fc1_("cnn.fc1",
+           [&] {
+               const std::size_t c1 = stageOut(resolution, 5, 1);
+               const std::size_t p1 = stageOut(c1, 4, 4);
+               const std::size_t c2 = stageOut(p1, 5, 1);
+               const std::size_t p2 = stageOut(c2, 2, 2);
+               return 16 * p2 * p2;
+           }(),
+           120, rng_),
+      fc2_("cnn.fc2", 120, 84, rng_),
+      fc3_("cnn.fc3", 84, num_classes, rng_)
+{
+    // conv5/pool4/conv5/pool2 needs at least 28 input pixels for a
+    // non-empty final feature map.
+    assert(resolution >= 28);
+    flatDim_ = fc1_.inFeatures();
+}
+
+tensor::Tensor
+FingerprintCnn::toBatchTensor(
+    const std::vector<const tensor::Tensor *> &images) const
+{
+    const std::size_t b = images.size();
+    tensor::Tensor batch({b, 1, resolution_, resolution_});
+    const std::size_t plane = resolution_ * resolution_;
+    for (std::size_t i = 0; i < b; ++i) {
+        assert(images[i]->size() == plane);
+        std::copy(images[i]->data(), images[i]->data() + plane,
+                  batch.data() + i * plane);
+    }
+    return batch;
+}
+
+tensor::Tensor
+FingerprintCnn::forward(const tensor::Tensor &batch_images)
+{
+    const std::size_t b = batch_images.dim(0);
+    tensor::Tensor x = conv1_.forward(batch_images);
+    x = act1_.forward(x);
+    x = pool1_.forward(x);
+    x = conv2_.forward(x);
+    x = act2_.forward(x);
+    x = pool2_.forward(x);
+    convOutShape_ = x.shape();
+    x = x.reshaped({b, flatDim_});
+    x = act3_.forward(fc1_.forward(x));
+    x = act4_.forward(fc2_.forward(x));
+    return fc3_.forward(x);
+}
+
+void
+FingerprintCnn::backward(const tensor::Tensor &dlogits)
+{
+    tensor::Tensor d = fc3_.backward(dlogits);
+    d = fc2_.backward(act4_.backward(d));
+    d = fc1_.backward(act3_.backward(d));
+    d = d.reshaped(convOutShape_);
+    d = pool2_.backward(d);
+    d = conv2_.backward(act2_.backward(d));
+    d = pool1_.backward(d);
+    conv1_.backward(act1_.backward(d));
+}
+
+nn::ParamRefs
+FingerprintCnn::params()
+{
+    nn::ParamRefs out;
+    for (auto ps : {conv1_.params(), conv2_.params(), fc1_.params(),
+                    fc2_.params(), fc3_.params()})
+        out.insert(out.end(), ps.begin(), ps.end());
+    return out;
+}
+
+float
+FingerprintCnn::train(const FingerprintDataset &data,
+                      const CnnTrainOptions &opts)
+{
+    assert(!data.samples.empty());
+    assert(data.resolution == resolution_);
+
+    nn::Adam optim(params(), opts.lr);
+    util::Rng rng(opts.shuffleSeed);
+    std::vector<std::size_t> order(data.samples.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    float last_epoch_loss = 0.0f;
+    for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+        rng.shuffle(order);
+        double loss_sum = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t start = 0; start < order.size();
+             start += opts.batchSize) {
+            const std::size_t end =
+                std::min(start + opts.batchSize, order.size());
+            std::vector<const tensor::Tensor *> images;
+            std::vector<int> labels;
+            for (std::size_t i = start; i < end; ++i) {
+                images.push_back(&data.samples[order[i]].image);
+                labels.push_back(data.samples[order[i]].label);
+            }
+            optim.zeroGrad();
+            tensor::Tensor logits = forward(toBatchTensor(images));
+            loss_sum += loss_.forward(logits, labels);
+            backward(loss_.backward());
+            optim.step();
+            ++batches;
+        }
+        last_epoch_loss =
+            static_cast<float>(loss_sum / std::max<std::size_t>(1, batches));
+    }
+    return last_epoch_loss;
+}
+
+std::vector<double>
+FingerprintCnn::classProbabilities(const tensor::Tensor &image)
+{
+    tensor::Tensor logits = forward(toBatchTensor({&image}));
+    tensor::Tensor probs = tensor::softmaxRows(logits);
+    std::vector<double> out(numClasses_);
+    for (std::size_t i = 0; i < numClasses_; ++i)
+        out[i] = probs[i];
+    return out;
+}
+
+int
+FingerprintCnn::predict(const tensor::Tensor &image)
+{
+    const auto probs = classProbabilities(image);
+    return static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+std::vector<int>
+FingerprintCnn::topK(const tensor::Tensor &image, std::size_t k)
+{
+    const auto probs = classProbabilities(image);
+    std::vector<int> idx(probs.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
+        return probs[static_cast<std::size_t>(a)] >
+               probs[static_cast<std::size_t>(b)];
+    });
+    idx.resize(std::min(k, idx.size()));
+    return idx;
+}
+
+double
+FingerprintCnn::evaluate(const FingerprintDataset &data)
+{
+    if (data.samples.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (const auto &s : data.samples) {
+        if (predict(s.image) == s.label)
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(data.samples.size());
+}
+
+} // namespace decepticon::fingerprint

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The pre-trained model extractor's CNN classifier (paper Sec. 5.4.2):
+ * two convolution+pooling stages followed by three fully connected
+ * layers, trained on fingerprint images labeled with pre-trained model
+ * names. The paper's exact topology targets 1024x1024 inputs; this one
+ * keeps the conv/pool/fc structure with pooling scaled to the raster
+ * resolution (see DESIGN.md substitution table).
+ */
+
+#ifndef DECEPTICON_FINGERPRINT_CNN_HH
+#define DECEPTICON_FINGERPRINT_CNN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fingerprint/dataset.hh"
+#include "nn/activations.hh"
+#include "nn/conv.hh"
+#include "nn/linear.hh"
+#include "nn/loss.hh"
+#include "nn/param.hh"
+
+namespace decepticon::fingerprint {
+
+/** Training knobs for the fingerprint CNN. */
+struct CnnTrainOptions
+{
+    std::size_t epochs = 30;
+    float lr = 2e-3f;
+    std::size_t batchSize = 8;
+    std::uint64_t shuffleSeed = 7;
+};
+
+/**
+ * conv(1->6, 5x5) / pool(4,4) / conv(6->16, 5x5) / pool(2,2) /
+ * fc(->120) / fc(120->84) / fc(84->classes), ReLU activations —
+ * the paper's LeNet-style extractor adapted to the raster size.
+ */
+class FingerprintCnn
+{
+  public:
+    FingerprintCnn(std::size_t resolution, std::size_t num_classes,
+                   std::uint64_t seed);
+
+    /** Train on a labeled dataset; returns final-epoch mean loss. */
+    float train(const FingerprintDataset &data,
+                const CnnTrainOptions &opts);
+
+    /** Softmax class probabilities for one image. */
+    std::vector<double> classProbabilities(const tensor::Tensor &image);
+
+    /** Argmax class for one image. */
+    int predict(const tensor::Tensor &image);
+
+    /** Indices of the k highest-probability classes, descending. */
+    std::vector<int> topK(const tensor::Tensor &image, std::size_t k);
+
+    /** Classification accuracy over a dataset. */
+    double evaluate(const FingerprintDataset &data);
+
+    std::size_t numClasses() const { return numClasses_; }
+    std::size_t resolution() const { return resolution_; }
+
+    nn::ParamRefs params();
+
+  private:
+    tensor::Tensor forward(const tensor::Tensor &batch_images);
+    void backward(const tensor::Tensor &dlogits);
+    tensor::Tensor toBatchTensor(
+        const std::vector<const tensor::Tensor *> &images) const;
+
+    std::size_t resolution_;
+    std::size_t numClasses_;
+    std::size_t flatDim_;
+
+    util::Rng rng_; // must precede the layers it initializes
+    nn::Conv2d conv1_;
+    nn::MaxPool2d pool1_;
+    nn::Conv2d conv2_;
+    nn::MaxPool2d pool2_;
+    nn::Relu act1_, act2_, act3_, act4_;
+    nn::Linear fc1_, fc2_, fc3_;
+    nn::SoftmaxCrossEntropy loss_;
+
+    std::vector<std::size_t> convOutShape_; // shape after pool2
+};
+
+} // namespace decepticon::fingerprint
+
+#endif // DECEPTICON_FINGERPRINT_CNN_HH

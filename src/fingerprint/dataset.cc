@@ -1,0 +1,92 @@
+#include "fingerprint/dataset.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "fingerprint/boundary.hh"
+#include "gpusim/trace_generator.hh"
+#include "trace/image.hh"
+#include "util/rng.hh"
+
+namespace decepticon::fingerprint {
+
+std::pair<FingerprintDataset, FingerprintDataset>
+FingerprintDataset::split(double train_fraction, std::uint64_t seed) const
+{
+    FingerprintDataset train, test;
+    train.classNames = test.classNames = classNames;
+    train.resolution = test.resolution = resolution;
+
+    std::vector<std::size_t> order(samples.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    util::Rng rng(seed);
+    rng.shuffle(order);
+
+    const auto n_train = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(samples.size()));
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i < n_train)
+            train.samples.push_back(samples[order[i]]);
+        else
+            test.samples.push_back(samples[order[i]]);
+    }
+    return {std::move(train), std::move(test)};
+}
+
+tensor::Tensor
+fingerprintImage(const gpusim::KernelTrace &trace, std::size_t resolution,
+                 bool crop_irregular)
+{
+    if (crop_irregular) {
+        const gpusim::KernelTrace cropped = cropToEncoderRegion(trace);
+        if (!cropped.records.empty())
+            return trace::rasterize(cropped, resolution);
+    }
+    return trace::rasterize(trace, resolution);
+}
+
+tensor::Tensor
+fingerprintImage(const zoo::ModelIdentity &model, std::size_t resolution,
+                 std::uint64_t run_seed, bool crop_irregular)
+{
+    const gpusim::TraceGenerator gen(model.signature);
+    const gpusim::KernelTrace trace = gen.generate(model.arch, run_seed);
+    return fingerprintImage(trace, resolution, crop_irregular);
+}
+
+FingerprintDataset
+buildDataset(const zoo::ModelZoo &zoo, const DatasetOptions &opts)
+{
+    FingerprintDataset ds;
+    ds.resolution = opts.resolution;
+
+    std::vector<std::string> lineages = zoo.lineageNames();
+    if (opts.lineageLimit > 0 && opts.lineageLimit < lineages.size())
+        lineages.resize(opts.lineageLimit);
+    ds.classNames = lineages;
+
+    std::unordered_map<std::string, int> label_of;
+    for (std::size_t i = 0; i < lineages.size(); ++i)
+        label_of[lineages[i]] = static_cast<int>(i);
+
+    util::Rng rng(opts.seed);
+    for (const auto &model : zoo.models()) {
+        auto it = label_of.find(model.pretrainedName);
+        if (it == label_of.end())
+            continue; // lineage outside the requested subset
+        for (std::size_t k = 0; k < opts.imagesPerModel; ++k) {
+            FingerprintSample sample;
+            sample.label = it->second;
+            sample.modelName = model.name;
+            sample.image = fingerprintImage(model, opts.resolution,
+                                            rng.nextU64(),
+                                            opts.cropIrregular);
+            ds.samples.push_back(std::move(sample));
+        }
+    }
+    return ds;
+}
+
+} // namespace decepticon::fingerprint

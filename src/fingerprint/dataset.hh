@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fingerprint training-set construction (paper Fig. 11): kernel traces
+ * of every zoo model are captured, pre-processed (encoder-region
+ * cropping for irregular traces), rasterized to grayscale images, and
+ * labeled with the *pre-trained lineage name* — a fine-tuned model's
+ * image carries its parent's label, which is exactly what lets the CNN
+ * identify the pre-trained model behind a black-box fine-tuned victim.
+ */
+
+#ifndef DECEPTICON_FINGERPRINT_DATASET_HH
+#define DECEPTICON_FINGERPRINT_DATASET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "zoo/zoo.hh"
+
+namespace decepticon::fingerprint {
+
+/** One labeled fingerprint image. */
+struct FingerprintSample
+{
+    tensor::Tensor image; ///< (res, res) grayscale in [0, 1]
+    int label = 0;        ///< index into FingerprintDataset::classNames
+    std::string modelName;
+};
+
+/** Labeled image dataset over a set of pre-trained lineages. */
+struct FingerprintDataset
+{
+    std::vector<FingerprintSample> samples;
+    std::vector<std::string> classNames; ///< lineage names
+    std::size_t resolution = 64;
+
+    std::size_t numClasses() const { return classNames.size(); }
+
+    /** Deterministic shuffled train/test split (paper uses 80/20). */
+    std::pair<FingerprintDataset, FingerprintDataset>
+    split(double train_fraction, std::uint64_t seed) const;
+};
+
+/** Dataset construction knobs. */
+struct DatasetOptions
+{
+    std::size_t imagesPerModel = 5;
+    std::size_t resolution = 64;
+    /** Crop XLA-style irregular traces to encoder regions first. */
+    bool cropIrregular = true;
+    /** Use only the first N lineages (0 = all). */
+    std::size_t lineageLimit = 0;
+    std::uint64_t seed = 1;
+};
+
+/** Build the labeled image dataset from a model zoo. */
+FingerprintDataset buildDataset(const zoo::ModelZoo &zoo,
+                                const DatasetOptions &opts);
+
+/**
+ * Rasterize one model's inference trace the same way the dataset
+ * builder does (capture + optional crop + rasterize). Used to prepare
+ * a victim's observed trace for classification.
+ */
+tensor::Tensor fingerprintImage(const zoo::ModelIdentity &model,
+                                std::size_t resolution,
+                                std::uint64_t run_seed,
+                                bool crop_irregular = true);
+
+/** Same pipeline applied to an already-captured trace. */
+tensor::Tensor fingerprintImage(const gpusim::KernelTrace &trace,
+                                std::size_t resolution,
+                                bool crop_irregular = true);
+
+} // namespace decepticon::fingerprint
+
+#endif // DECEPTICON_FINGERPRINT_DATASET_HH

@@ -1,0 +1,59 @@
+#include "fingerprint/knn.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "trace/image.hh"
+
+namespace decepticon::fingerprint {
+
+void
+NearestNeighborClassifier::train(const FingerprintDataset &data)
+{
+    assert(!data.samples.empty());
+    numClasses_ = data.numClasses();
+    templates_.clear();
+    labels_.clear();
+    templates_.reserve(data.samples.size());
+    labels_.reserve(data.samples.size());
+    for (const auto &s : data.samples) {
+        templates_.push_back(trace::boxBlur3(s.image));
+        labels_.push_back(s.label);
+    }
+}
+
+int
+NearestNeighborClassifier::predict(const tensor::Tensor &image) const
+{
+    assert(!templates_.empty());
+    const tensor::Tensor probe = trace::boxBlur3(image);
+
+    std::vector<std::pair<double, int>> dist;
+    dist.reserve(templates_.size());
+    for (std::size_t i = 0; i < templates_.size(); ++i)
+        dist.emplace_back(trace::imageDistance(probe, templates_[i]),
+                          labels_[i]);
+    const std::size_t k = std::min(k_, dist.size());
+    std::partial_sort(dist.begin(),
+                      dist.begin() + static_cast<long>(k), dist.end());
+
+    std::vector<std::size_t> votes(numClasses_, 0);
+    for (std::size_t i = 0; i < k; ++i)
+        ++votes[static_cast<std::size_t>(dist[i].second)];
+    return static_cast<int>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+double
+NearestNeighborClassifier::evaluate(const FingerprintDataset &data) const
+{
+    if (data.samples.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (const auto &s : data.samples)
+        correct += predict(s.image) == s.label ? 1 : 0;
+    return static_cast<double>(correct) /
+           static_cast<double>(data.samples.size());
+}
+
+} // namespace decepticon::fingerprint

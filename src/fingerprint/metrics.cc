@@ -1,0 +1,107 @@
+#include "fingerprint/metrics.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace decepticon::fingerprint {
+
+std::size_t
+ConfusionMatrix::total() const
+{
+    std::size_t n = 0;
+    for (const auto &row : counts)
+        for (auto c : row)
+            n += c;
+    return n;
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    const std::size_t n = total();
+    if (n == 0)
+        return 0.0;
+    std::size_t diag = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        diag += counts[i][i];
+    return static_cast<double>(diag) / static_cast<double>(n);
+}
+
+double
+ConfusionMatrix::precision(std::size_t c) const
+{
+    assert(c < counts.size());
+    std::size_t predicted = 0;
+    for (std::size_t t = 0; t < counts.size(); ++t)
+        predicted += counts[t][c];
+    return predicted == 0 ? 0.0
+                          : static_cast<double>(counts[c][c]) /
+                                static_cast<double>(predicted);
+}
+
+double
+ConfusionMatrix::recall(std::size_t c) const
+{
+    assert(c < counts.size());
+    std::size_t seen = 0;
+    for (std::size_t p = 0; p < counts.size(); ++p)
+        seen += counts[c][p];
+    return seen == 0 ? 0.0
+                     : static_cast<double>(counts[c][c]) /
+                           static_cast<double>(seen);
+}
+
+std::string
+ConfusionMatrix::toString() const
+{
+    std::ostringstream oss;
+    oss << "truth\\pred";
+    for (std::size_t c = 0; c < counts.size(); ++c)
+        oss << "\t" << c;
+    oss << "\n";
+    for (std::size_t t = 0; t < counts.size(); ++t) {
+        oss << t;
+        if (t < classNames.size())
+            oss << " (" << classNames[t].substr(0, 18) << ")";
+        for (std::size_t p = 0; p < counts.size(); ++p)
+            oss << "\t" << counts[t][p];
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+ConfusionMatrix
+confusionMatrix(FingerprintCnn &cnn, const FingerprintDataset &data)
+{
+    ConfusionMatrix cm;
+    cm.classNames = data.classNames;
+    cm.counts.assign(data.numClasses(),
+                     std::vector<std::size_t>(data.numClasses(), 0));
+    for (const auto &sample : data.samples) {
+        const int pred = cnn.predict(sample.image);
+        assert(pred >= 0 &&
+               static_cast<std::size_t>(pred) < data.numClasses());
+        ++cm.counts[static_cast<std::size_t>(sample.label)]
+                   [static_cast<std::size_t>(pred)];
+    }
+    return cm;
+}
+
+double
+topKAccuracy(FingerprintCnn &cnn, const FingerprintDataset &data,
+             std::size_t k)
+{
+    if (data.samples.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    for (const auto &sample : data.samples) {
+        const auto top = cnn.topK(sample.image, k);
+        if (std::find(top.begin(), top.end(), sample.label) != top.end())
+            ++hits;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(data.samples.size());
+}
+
+} // namespace decepticon::fingerprint

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DeepSniffer-style kernel-sequence -> layer-sequence predictor, the
+ * state-of-the-art baseline the paper evaluates in Table 2. The
+ * predictor learns which kernel names implement architectural
+ * operators from profiled traces of its own source, then predicts the
+ * operator sequence of a victim trace. The paper's finding: because
+ * every source has its own kernel fingerprint, the predictor's Layer
+ * prediction Error Rate (LER) collapses from ~0.09 in-distribution to
+ * 0.5-6.8 on traces from other sources, which is why Decepticon uses
+ * the fingerprint itself instead of fighting it.
+ */
+
+#ifndef DECEPTICON_FINGERPRINT_SEQ_PREDICTOR_HH
+#define DECEPTICON_FINGERPRINT_SEQ_PREDICTOR_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/kernel.hh"
+
+namespace decepticon::fingerprint {
+
+/**
+ * Architectural operator alphabet predicted by the baseline. Only
+ * these operators appear in ground-truth layer sequences; the rest of
+ * a trace (copies, converts, fusion wrappers, short reductions) is
+ * framework noise the predictor must learn to drop.
+ */
+enum class LayerOp : int
+{
+    Gemm = 0,
+    Attention = 1,
+    Softmax = 2,
+    Norm = 3,
+    NoOp = 4, ///< non-architectural kernel (dropped from sequences)
+};
+
+/** Ground-truth operator of one kernel record. */
+LayerOp groundTruthOp(const gpusim::KernelRecord &rec);
+
+/** Ground-truth architectural operator sequence of a trace. */
+std::vector<int> groundTruthOpSequence(const gpusim::KernelTrace &trace);
+
+/**
+ * The trainable baseline. train() learns a kernel-name -> operator
+ * table from traces whose operator labels are known (the attacker
+ * profiles models he controls, as DeepSniffer does); predict() maps a
+ * victim trace through the table. Never-seen kernel names decode to
+ * an effectively arbitrary operator (modelled as a hash of the name),
+ * the way a sequence decoder emits noise on out-of-distribution
+ * input — the behaviour that makes cross-source predictions collapse.
+ */
+class KernelSequencePredictor
+{
+  public:
+    /** Learn the name->operator table from labeled traces. */
+    void train(const std::vector<gpusim::KernelTrace> &traces);
+
+    /** Predicted architectural operator sequence for a trace. */
+    std::vector<int> predict(const gpusim::KernelTrace &trace) const;
+
+    /** LER of this predictor on a trace (edit distance / truth len). */
+    double layerErrorRate(const gpusim::KernelTrace &trace) const;
+
+    /** Number of kernel names learned. */
+    std::size_t vocabularySize() const { return opOfKernel_.size(); }
+
+  private:
+    std::unordered_map<std::string, LayerOp> opOfKernel_;
+};
+
+} // namespace decepticon::fingerprint
+
+#endif // DECEPTICON_FINGERPRINT_SEQ_PREDICTOR_HH

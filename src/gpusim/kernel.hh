@@ -1,0 +1,82 @@
+/**
+ * @file
+ * GPU kernel execution records and traces — the architectural-hint
+ * side channel of the paper (Sec. 5.2). A trace is the time series of
+ * (T_invocation, T_termination) pairs for every kernel launched during
+ * one model inference, exactly what the paper's attacker collects via
+ * EM/bus side channels.
+ */
+
+#ifndef DECEPTICON_GPUSIM_KERNEL_HH
+#define DECEPTICON_GPUSIM_KERNEL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace decepticon::gpusim {
+
+/** Execution phase a kernel belongs to (ground truth for evaluation). */
+enum class Phase
+{
+    Prologue,    ///< embedding lookup / input staging
+    Encoder,     ///< repeated per-encoder kernel group
+    XlaRegion,   ///< XLA compilation/fusion burst (corner case, Fig. 12)
+    OutputLayer, ///< task-specific last layer
+};
+
+/** Functional class of a kernel, driving its duration model. */
+enum class KernelClass
+{
+    Gemm,        ///< large matrix multiply
+    AttnGemm,    ///< seq-len-squared attention score/context multiply
+    Softmax,     ///< attention softmax
+    LayerNorm,
+    Elementwise, ///< bias/activation/residual
+    Reduction,   ///< short reduce kernels (Meta-style traces)
+    Memory,      ///< copies / index selects
+    Fusion,      ///< XLA fused region kernel
+};
+
+/** One kernel invocation. Timestamps are microseconds from t=0. */
+struct KernelRecord
+{
+    int kernelId = 0;        ///< index into KernelTrace::kernelNames
+    double tStart = 0.0;     ///< T_invocation
+    double tEnd = 0.0;       ///< T_termination
+    Phase phase = Phase::Encoder;
+    KernelClass klass = KernelClass::Elementwise;
+    /** Encoder index this kernel implements, or -1 outside encoders. */
+    int layerIndex = -1;
+
+    double duration() const { return tEnd - tStart; }
+};
+
+/** A full inference trace: kernel name table + time-ordered records. */
+struct KernelTrace
+{
+    std::vector<std::string> kernelNames;
+    std::vector<KernelRecord> records;
+
+    /** Total wall time (end of last kernel). */
+    double totalTime() const;
+
+    /** Durations of all records, in invocation order. */
+    std::vector<double> durations() const;
+
+    /** Number of distinct kernel ids actually invoked. */
+    std::size_t uniqueKernelCount() const;
+
+    /** Maximum single-kernel duration. */
+    double peakDuration() const;
+
+    /** Records whose phase is Encoder. */
+    std::vector<KernelRecord> encoderRecords() const;
+
+    /** Kernel-id sequence in invocation order (for LER baselines). */
+    std::vector<int> kernelIdSequence() const;
+};
+
+} // namespace decepticon::gpusim
+
+#endif // DECEPTICON_GPUSIM_KERNEL_HH

@@ -1,0 +1,42 @@
+#include "gpusim/noise.hh"
+
+#include <algorithm>
+
+#include "util/rng.hh"
+
+namespace decepticon::gpusim {
+
+KernelTrace
+applyTimingNoise(const KernelTrace &trace, std::size_t num_kernels,
+                 double magnitude_us, std::uint64_t seed)
+{
+    KernelTrace out = trace;
+    if (out.records.empty() || num_kernels == 0 || magnitude_us <= 0.0)
+        return out;
+
+    util::Rng rng(seed);
+    const std::size_t n =
+        std::min(num_kernels, out.records.size());
+    auto picked = rng.sampleWithoutReplacement(out.records.size(), n);
+    std::sort(picked.begin(), picked.end());
+
+    double shift = 0.0;
+    std::size_t next_pick = 0;
+    for (std::size_t i = 0; i < out.records.size(); ++i) {
+        KernelRecord &rec = out.records[i];
+        rec.tStart += shift;
+        rec.tEnd += shift;
+        if (next_pick < picked.size() && picked[next_pick] == i) {
+            ++next_pick;
+            const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+            const double old_dur = rec.duration();
+            const double new_dur =
+                std::max(0.5, old_dur + sign * magnitude_us);
+            rec.tEnd = rec.tStart + new_dur;
+            shift += new_dur - old_dur;
+        }
+    }
+    return out;
+}
+
+} // namespace decepticon::gpusim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Measurement-noise injection for kernel traces, matching the paper's
+ * robustness evaluation (Fig. 14): perturb the execution times of a
+ * chosen number of kernels by a chosen magnitude.
+ */
+
+#ifndef DECEPTICON_GPUSIM_NOISE_HH
+#define DECEPTICON_GPUSIM_NOISE_HH
+
+#include <cstdint>
+
+#include "gpusim/kernel.hh"
+
+namespace decepticon::gpusim {
+
+/**
+ * Return a copy of the trace where num_kernels randomly selected
+ * records have their duration shifted by +/- magnitude_us (random
+ * sign, floor at 0.5 us). Subsequent kernel timestamps shift
+ * accordingly so the trace stays physically consistent.
+ */
+KernelTrace applyTimingNoise(const KernelTrace &trace,
+                             std::size_t num_kernels, double magnitude_us,
+                             std::uint64_t seed);
+
+} // namespace decepticon::gpusim
+
+#endif // DECEPTICON_GPUSIM_NOISE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Software signature of a model release: the framework, developer, and
+ * optimization choices that the paper identifies as the source of a
+ * model's unique execution fingerprint (Sec. 4.2, Fig. 9). Two models
+ * with identical architecture but different signatures launch very
+ * different kernel schedules; a fine-tuned model inherits its
+ * pre-trained model's signature.
+ */
+
+#ifndef DECEPTICON_GPUSIM_SIGNATURE_HH
+#define DECEPTICON_GPUSIM_SIGNATURE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace decepticon::gpusim {
+
+/** ML framework of a model release. */
+enum class Framework
+{
+    PyTorch,
+    TensorFlow,
+    Mxnet,
+};
+
+/** Publishing organization (kernel-preference profile). */
+enum class Developer
+{
+    HuggingFace,
+    Nvidia,
+    Google,
+    Meta,
+    Amazon,
+    Community,
+};
+
+/** Printable names. */
+std::string toString(Framework f);
+std::string toString(Developer d);
+
+/**
+ * The full software identity of a model release. `kernelDialect`
+ * captures residual per-release variation (library versions, build
+ * flags) so that two releases from the same org can still differ.
+ */
+struct SoftwareSignature
+{
+    Framework framework = Framework::PyTorch;
+    Developer developer = Developer::HuggingFace;
+    /** NVIDIA-style half-precision tensor-core kernels. */
+    bool useTensorCores = false;
+    /** TensorFlow XLA: fusion bursts and irregular layout (Fig. 12). */
+    bool useXla = false;
+    /** 0 = none, 1 = mild, 2 = aggressive kernel fusion. */
+    int fusionLevel = 0;
+    /** Per-release residual variation (library/build differences). */
+    int kernelDialect = 0;
+
+    /** Stable seed derived from every field; drives kernel selection. */
+    std::uint64_t seed() const;
+
+    /** Human-readable id, e.g. "pytorch/huggingface/d3". */
+    std::string toString() const;
+
+    bool operator==(const SoftwareSignature &) const = default;
+};
+
+} // namespace decepticon::gpusim
+
+#endif // DECEPTICON_GPUSIM_SIGNATURE_HH

@@ -1,0 +1,66 @@
+#include "nn/activations.hh"
+
+#include <cmath>
+
+namespace decepticon::nn {
+
+tensor::Tensor
+Relu::forward(const tensor::Tensor &x)
+{
+    cachedInput_ = x;
+    tensor::Tensor y = x;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+    return y;
+}
+
+tensor::Tensor
+Relu::backward(const tensor::Tensor &dy)
+{
+    assert(dy.size() == cachedInput_.size());
+    tensor::Tensor dx = dy;
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+        if (cachedInput_[i] <= 0.0f)
+            dx[i] = 0.0f;
+    }
+    return dx;
+}
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f; // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+} // anonymous namespace
+
+tensor::Tensor
+Gelu::forward(const tensor::Tensor &x)
+{
+    cachedInput_ = x;
+    tensor::Tensor y = x;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const float v = y[i];
+        const float t = std::tanh(kGeluC * (v + kGeluA * v * v * v));
+        y[i] = 0.5f * v * (1.0f + t);
+    }
+    return y;
+}
+
+tensor::Tensor
+Gelu::backward(const tensor::Tensor &dy)
+{
+    assert(dy.size() == cachedInput_.size());
+    tensor::Tensor dx = dy;
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+        const float v = cachedInput_[i];
+        const float u = kGeluC * (v + kGeluA * v * v * v);
+        const float t = std::tanh(u);
+        const float sech2 = 1.0f - t * t;
+        const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+        const float grad = 0.5f * (1.0f + t) + 0.5f * v * sech2 * du;
+        dx[i] *= grad;
+    }
+    return dx;
+}
+
+} // namespace decepticon::nn

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Element-wise activations with cached-input backward passes.
+ */
+
+#ifndef DECEPTICON_NN_ACTIVATIONS_HH
+#define DECEPTICON_NN_ACTIVATIONS_HH
+
+#include "tensor/tensor.hh"
+
+namespace decepticon::nn {
+
+/** Rectified linear unit. */
+class Relu
+{
+  public:
+    tensor::Tensor forward(const tensor::Tensor &x);
+    tensor::Tensor backward(const tensor::Tensor &dy);
+
+  private:
+    tensor::Tensor cachedInput_;
+};
+
+/**
+ * Gaussian error linear unit (tanh approximation), the activation used
+ * inside BERT-style feed-forward blocks.
+ */
+class Gelu
+{
+  public:
+    tensor::Tensor forward(const tensor::Tensor &x);
+    tensor::Tensor backward(const tensor::Tensor &dy);
+
+  private:
+    tensor::Tensor cachedInput_;
+};
+
+} // namespace decepticon::nn
+
+#endif // DECEPTICON_NN_ACTIVATIONS_HH

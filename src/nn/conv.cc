@@ -1,0 +1,181 @@
+#include "nn/conv.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace decepticon::nn {
+
+Conv2d::Conv2d(std::string name, std::size_t in_channels,
+               std::size_t out_channels, std::size_t kernel, util::Rng &rng)
+    : weight(name + ".weight", {out_channels, in_channels, kernel, kernel}),
+      bias(name + ".bias", {out_channels}),
+      inChannels_(in_channels),
+      outChannels_(out_channels),
+      kernel_(kernel)
+{
+    weight.value.fillXavier(rng, in_channels * kernel * kernel,
+                            out_channels * kernel * kernel);
+}
+
+tensor::Tensor
+Conv2d::forward(const tensor::Tensor &x)
+{
+    assert(x.rank() == 4);
+    assert(x.dim(1) == inChannels_);
+    const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    assert(h >= kernel_ && w >= kernel_);
+    const std::size_t oh = h - kernel_ + 1;
+    const std::size_t ow = w - kernel_ + 1;
+    cachedInput_ = x;
+
+    tensor::Tensor y({n, outChannels_, oh, ow});
+    const std::size_t in_plane = h * w;
+    const std::size_t out_plane = oh * ow;
+    const std::size_t wplane = kernel_ * kernel_;
+
+    for (std::size_t b = 0; b < n; ++b) {
+        const float *xb = x.data() + b * inChannels_ * in_plane;
+        float *yb = y.data() + b * outChannels_ * out_plane;
+        for (std::size_t co = 0; co < outChannels_; ++co) {
+            float *yplane = yb + co * out_plane;
+            const float bval = bias.value[co];
+            for (std::size_t i = 0; i < out_plane; ++i)
+                yplane[i] = bval;
+            for (std::size_t ci = 0; ci < inChannels_; ++ci) {
+                const float *xplane = xb + ci * in_plane;
+                const float *wk = weight.value.data() +
+                    (co * inChannels_ + ci) * wplane;
+                for (std::size_t r = 0; r < oh; ++r) {
+                    for (std::size_t c = 0; c < ow; ++c) {
+                        float s = 0.0f;
+                        for (std::size_t kr = 0; kr < kernel_; ++kr) {
+                            const float *xrow =
+                                xplane + (r + kr) * w + c;
+                            const float *wrow = wk + kr * kernel_;
+                            for (std::size_t kc = 0; kc < kernel_; ++kc)
+                                s += xrow[kc] * wrow[kc];
+                        }
+                        yplane[r * ow + c] += s;
+                    }
+                }
+            }
+        }
+    }
+    return y;
+}
+
+tensor::Tensor
+Conv2d::backward(const tensor::Tensor &dy)
+{
+    assert(dy.rank() == 4 && dy.dim(1) == outChannels_);
+    const tensor::Tensor &x = cachedInput_;
+    const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const std::size_t oh = dy.dim(2), ow = dy.dim(3);
+    assert(oh == h - kernel_ + 1 && ow == w - kernel_ + 1);
+
+    tensor::Tensor dx({n, inChannels_, h, w});
+    const std::size_t in_plane = h * w;
+    const std::size_t out_plane = oh * ow;
+    const std::size_t wplane = kernel_ * kernel_;
+
+    for (std::size_t b = 0; b < n; ++b) {
+        const float *xb = x.data() + b * inChannels_ * in_plane;
+        float *dxb = dx.data() + b * inChannels_ * in_plane;
+        const float *dyb = dy.data() + b * outChannels_ * out_plane;
+        for (std::size_t co = 0; co < outChannels_; ++co) {
+            const float *dyplane = dyb + co * out_plane;
+            for (std::size_t i = 0; i < out_plane; ++i)
+                bias.grad[co] += dyplane[i];
+            for (std::size_t ci = 0; ci < inChannels_; ++ci) {
+                const float *xplane = xb + ci * in_plane;
+                float *dxplane = dxb + ci * in_plane;
+                const float *wk = weight.value.data() +
+                    (co * inChannels_ + ci) * wplane;
+                float *dwk = weight.grad.data() +
+                    (co * inChannels_ + ci) * wplane;
+                for (std::size_t r = 0; r < oh; ++r) {
+                    for (std::size_t c = 0; c < ow; ++c) {
+                        const float g = dyplane[r * ow + c];
+                        if (g == 0.0f)
+                            continue;
+                        for (std::size_t kr = 0; kr < kernel_; ++kr) {
+                            const float *xrow =
+                                xplane + (r + kr) * w + c;
+                            float *dxrow = dxplane + (r + kr) * w + c;
+                            const float *wrow = wk + kr * kernel_;
+                            float *dwrow = dwk + kr * kernel_;
+                            for (std::size_t kc = 0; kc < kernel_; ++kc) {
+                                dwrow[kc] += g * xrow[kc];
+                                dxrow[kc] += g * wrow[kc];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride)
+{
+    assert(kernel > 0 && stride > 0);
+}
+
+tensor::Tensor
+MaxPool2d::forward(const tensor::Tensor &x)
+{
+    assert(x.rank() == 4);
+    const std::size_t n = x.dim(0), ch = x.dim(1), h = x.dim(2),
+        w = x.dim(3);
+    assert(h >= kernel_ && w >= kernel_);
+    const std::size_t oh = (h - kernel_) / stride_ + 1;
+    const std::size_t ow = (w - kernel_) / stride_ + 1;
+    inShape_ = x.shape();
+
+    tensor::Tensor y({n, ch, oh, ow});
+    argmax_.assign(y.size(), 0);
+    const std::size_t in_plane = h * w;
+    const std::size_t out_plane = oh * ow;
+
+    for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t c = 0; c < ch; ++c) {
+            const std::size_t in_base = (b * ch + c) * in_plane;
+            const std::size_t out_base = (b * ch + c) * out_plane;
+            for (std::size_t r = 0; r < oh; ++r) {
+                for (std::size_t q = 0; q < ow; ++q) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::size_t best_idx = 0;
+                    for (std::size_t kr = 0; kr < kernel_; ++kr) {
+                        for (std::size_t kc = 0; kc < kernel_; ++kc) {
+                            const std::size_t idx = in_base +
+                                (r * stride_ + kr) * w +
+                                (q * stride_ + kc);
+                            if (x[idx] > best) {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    const std::size_t oidx = out_base + r * ow + q;
+                    y[oidx] = best;
+                    argmax_[oidx] = best_idx;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+tensor::Tensor
+MaxPool2d::backward(const tensor::Tensor &dy)
+{
+    assert(dy.size() == argmax_.size());
+    tensor::Tensor dx(inShape_);
+    for (std::size_t i = 0; i < dy.size(); ++i)
+        dx[argmax_[i]] += dy[i];
+    return dx;
+}
+
+} // namespace decepticon::nn

@@ -1,0 +1,42 @@
+#include "nn/embedding.hh"
+
+namespace decepticon::nn {
+
+Embedding::Embedding(std::string name, std::size_t vocab, std::size_t dim,
+                     util::Rng &rng)
+    : table(name + ".table", {vocab, dim}), vocab_(vocab), dim_(dim)
+{
+    table.value.fillGaussian(rng, 0.02f);
+}
+
+tensor::Tensor
+Embedding::forward(const std::vector<int> &tokens)
+{
+    cachedTokens_ = tokens;
+    tensor::Tensor out({tokens.size(), dim_});
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const auto tok = static_cast<std::size_t>(tokens[i]);
+        assert(tok < vocab_);
+        const float *src = table.value.data() + tok * dim_;
+        float *dst = out.data() + i * dim_;
+        for (std::size_t j = 0; j < dim_; ++j)
+            dst[j] = src[j];
+    }
+    return out;
+}
+
+void
+Embedding::backward(const tensor::Tensor &dy)
+{
+    assert(dy.rank() == 2 && dy.dim(1) == dim_);
+    assert(dy.dim(0) == cachedTokens_.size());
+    for (std::size_t i = 0; i < cachedTokens_.size(); ++i) {
+        const auto tok = static_cast<std::size_t>(cachedTokens_[i]);
+        const float *src = dy.data() + i * dim_;
+        float *dst = table.grad.data() + tok * dim_;
+        for (std::size_t j = 0; j < dim_; ++j)
+            dst[j] += src[j];
+    }
+}
+
+} // namespace decepticon::nn

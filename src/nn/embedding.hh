@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Token embedding table with sparse-gradient backward.
+ */
+
+#ifndef DECEPTICON_NN_EMBEDDING_HH
+#define DECEPTICON_NN_EMBEDDING_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/param.hh"
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace decepticon::nn {
+
+/** Lookup table mapping token ids to dense rows of dimension dim. */
+class Embedding
+{
+  public:
+    Embedding(std::string name, std::size_t vocab, std::size_t dim,
+              util::Rng &rng);
+
+    /** Map a token sequence to an (len, dim) activation. */
+    tensor::Tensor forward(const std::vector<int> &tokens);
+
+    /** Scatter-add dy rows into the gradient of the looked-up rows. */
+    void backward(const tensor::Tensor &dy);
+
+    ParamRefs params() { return {&table}; }
+
+    std::size_t vocab() const { return vocab_; }
+    std::size_t dim() const { return dim_; }
+
+    Parameter table;
+
+  private:
+    std::size_t vocab_;
+    std::size_t dim_;
+    std::vector<int> cachedTokens_;
+};
+
+} // namespace decepticon::nn
+
+#endif // DECEPTICON_NN_EMBEDDING_HH

@@ -1,0 +1,82 @@
+#include "nn/layernorm.hh"
+
+#include <cmath>
+
+namespace decepticon::nn {
+
+LayerNorm::LayerNorm(std::string name, std::size_t dim, float eps)
+    : gamma(name + ".gamma", {dim}),
+      beta(name + ".beta", {dim}),
+      dim_(dim),
+      eps_(eps)
+{
+    gamma.value.fill(1.0f);
+}
+
+tensor::Tensor
+LayerNorm::forward(const tensor::Tensor &x)
+{
+    assert(x.rank() == 2 && x.dim(1) == dim_);
+    const std::size_t n = x.dim(0);
+    tensor::Tensor y({n, dim_});
+    cachedNorm_ = tensor::Tensor({n, dim_});
+    cachedInvStd_ = tensor::Tensor({n});
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *row = x.data() + i * dim_;
+        float m = 0.0f;
+        for (std::size_t j = 0; j < dim_; ++j)
+            m += row[j];
+        m /= static_cast<float>(dim_);
+        float var = 0.0f;
+        for (std::size_t j = 0; j < dim_; ++j)
+            var += (row[j] - m) * (row[j] - m);
+        var /= static_cast<float>(dim_);
+        const float inv_std = 1.0f / std::sqrt(var + eps_);
+        cachedInvStd_[i] = inv_std;
+        float *nrow = cachedNorm_.data() + i * dim_;
+        float *yrow = y.data() + i * dim_;
+        for (std::size_t j = 0; j < dim_; ++j) {
+            nrow[j] = (row[j] - m) * inv_std;
+            yrow[j] = gamma.value[j] * nrow[j] + beta.value[j];
+        }
+    }
+    return y;
+}
+
+tensor::Tensor
+LayerNorm::backward(const tensor::Tensor &dy)
+{
+    assert(dy.rank() == 2 && dy.dim(1) == dim_);
+    const std::size_t n = dy.dim(0);
+    assert(cachedNorm_.dim(0) == n);
+    tensor::Tensor dx({n, dim_});
+    const float inv_d = 1.0f / static_cast<float>(dim_);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *dyrow = dy.data() + i * dim_;
+        const float *nrow = cachedNorm_.data() + i * dim_;
+        float *dxrow = dx.data() + i * dim_;
+
+        // Accumulate parameter grads and the two row reductions needed
+        // for the normalized-input backward formula.
+        float sum_dxhat = 0.0f;
+        float sum_dxhat_xhat = 0.0f;
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const float dxhat = dyrow[j] * gamma.value[j];
+            gamma.grad[j] += dyrow[j] * nrow[j];
+            beta.grad[j] += dyrow[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * nrow[j];
+        }
+        const float inv_std = cachedInvStd_[i];
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const float dxhat = dyrow[j] * gamma.value[j];
+            dxrow[j] = inv_std * (dxhat - inv_d * sum_dxhat -
+                                  nrow[j] * inv_d * sum_dxhat_xhat);
+        }
+    }
+    return dx;
+}
+
+} // namespace decepticon::nn

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Layer normalization over the last dimension of a (N, D) activation,
+ * with learnable gain/bias — the normalization used by every
+ * transformer encoder block.
+ */
+
+#ifndef DECEPTICON_NN_LAYERNORM_HH
+#define DECEPTICON_NN_LAYERNORM_HH
+
+#include <string>
+
+#include "nn/param.hh"
+#include "tensor/tensor.hh"
+
+namespace decepticon::nn {
+
+/** y = gamma * (x - mean) / sqrt(var + eps) + beta, per row. */
+class LayerNorm
+{
+  public:
+    LayerNorm(std::string name, std::size_t dim, float eps = 1e-5f);
+
+    /** Forward pass; caches normalized activations for backward. */
+    tensor::Tensor forward(const tensor::Tensor &x);
+
+    /** Backward pass: accumulates dgamma/dbeta and returns dx. */
+    tensor::Tensor backward(const tensor::Tensor &dy);
+
+    ParamRefs params() { return {&gamma, &beta}; }
+
+    Parameter gamma;
+    Parameter beta;
+
+  private:
+    std::size_t dim_;
+    float eps_;
+    tensor::Tensor cachedNorm_;   // x_hat
+    tensor::Tensor cachedInvStd_; // 1/sqrt(var+eps) per row
+};
+
+} // namespace decepticon::nn
+
+#endif // DECEPTICON_NN_LAYERNORM_HH

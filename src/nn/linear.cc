@@ -1,0 +1,45 @@
+#include "nn/linear.hh"
+
+namespace decepticon::nn {
+
+Linear::Linear(std::string name, std::size_t in_features,
+               std::size_t out_features, util::Rng &rng)
+    : weight(name + ".weight", {out_features, in_features}),
+      bias(name + ".bias", {out_features}),
+      inFeatures_(in_features),
+      outFeatures_(out_features)
+{
+    weight.value.fillXavier(rng, in_features, out_features);
+}
+
+tensor::Tensor
+Linear::forward(const tensor::Tensor &x)
+{
+    assert(x.rank() == 2 && x.dim(1) == inFeatures_);
+    cachedInput_ = x;
+    tensor::Tensor y = tensor::matmulTransposeB(x, weight.value);
+    tensor::addRowVector(y, bias.value);
+    return y;
+}
+
+tensor::Tensor
+Linear::backward(const tensor::Tensor &dy)
+{
+    assert(dy.rank() == 2 && dy.dim(1) == outFeatures_);
+    assert(cachedInput_.dim(0) == dy.dim(0));
+
+    // dW = dy^T x ; db = column sums of dy ; dx = dy W.
+    tensor::Tensor dw = tensor::matmulTransposeA(dy, cachedInput_);
+    tensor::axpy(weight.grad, dw, 1.0f);
+
+    const std::size_t n = dy.dim(0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *row = dy.data() + i * outFeatures_;
+        for (std::size_t j = 0; j < outFeatures_; ++j)
+            bias.grad[j] += row[j];
+    }
+
+    return tensor::matmul(dy, weight.value);
+}
+
+} // namespace decepticon::nn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fully connected layer with explicit forward/backward.
+ */
+
+#ifndef DECEPTICON_NN_LINEAR_HH
+#define DECEPTICON_NN_LINEAR_HH
+
+#include <string>
+
+#include "nn/param.hh"
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace decepticon::nn {
+
+/**
+ * y = x W^T + b, with x of shape (N, in) and y of shape (N, out).
+ * Weight is stored (out, in), matching PyTorch's nn.Linear layout so
+ * weight-extraction indexing matches the paper's framing.
+ */
+class Linear
+{
+  public:
+    /** Construct with Xavier-initialized weight and zero bias. */
+    Linear(std::string name, std::size_t in_features,
+           std::size_t out_features, util::Rng &rng);
+
+    /** Forward pass; caches the input for backward. */
+    tensor::Tensor forward(const tensor::Tensor &x);
+
+    /**
+     * Backward pass: accumulates dW, db and returns dx.
+     * @pre forward was called and dy matches its output shape.
+     */
+    tensor::Tensor backward(const tensor::Tensor &dy);
+
+    /** Parameter access for optimizers/extraction. */
+    ParamRefs params() { return {&weight, &bias}; }
+
+    std::size_t inFeatures() const { return inFeatures_; }
+    std::size_t outFeatures() const { return outFeatures_; }
+
+    Parameter weight;
+    Parameter bias;
+
+  private:
+    std::size_t inFeatures_;
+    std::size_t outFeatures_;
+    tensor::Tensor cachedInput_;
+};
+
+} // namespace decepticon::nn
+
+#endif // DECEPTICON_NN_LINEAR_HH

@@ -1,0 +1,60 @@
+#include "nn/loss.hh"
+
+#include <cmath>
+
+namespace decepticon::nn {
+
+float
+SoftmaxCrossEntropy::forward(const tensor::Tensor &logits,
+                             const std::vector<int> &labels)
+{
+    assert(logits.rank() == 2);
+    assert(logits.dim(0) == labels.size());
+    probs_ = tensor::softmaxRows(logits);
+    labels_ = labels;
+
+    const std::size_t n = logits.dim(0), c = logits.dim(1);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto y = static_cast<std::size_t>(labels[i]);
+        assert(y < c);
+        const float p = probs_.data()[i * c + y];
+        loss += -std::log(std::max(p, 1e-12f));
+    }
+    return static_cast<float>(loss / static_cast<double>(n));
+}
+
+tensor::Tensor
+SoftmaxCrossEntropy::backward() const
+{
+    const std::size_t n = probs_.dim(0), c = probs_.dim(1);
+    tensor::Tensor d = probs_;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        float *row = d.data() + i * c;
+        row[static_cast<std::size_t>(labels_[i])] -= 1.0f;
+        for (std::size_t j = 0; j < c; ++j)
+            row[j] *= inv_n;
+    }
+    return d;
+}
+
+std::vector<int>
+argmaxRows(const tensor::Tensor &logits)
+{
+    assert(logits.rank() == 2);
+    const std::size_t n = logits.dim(0), c = logits.dim(1);
+    std::vector<int> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *row = logits.data() + i * c;
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < c; ++j) {
+            if (row[j] > row[best])
+                best = j;
+        }
+        out[i] = static_cast<int>(best);
+    }
+    return out;
+}
+
+} // namespace decepticon::nn

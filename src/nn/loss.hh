@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Softmax cross-entropy loss over (N, C) logits.
+ */
+
+#ifndef DECEPTICON_NN_LOSS_HH
+#define DECEPTICON_NN_LOSS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace decepticon::nn {
+
+/**
+ * Combined softmax + cross-entropy. forward() returns the mean loss;
+ * backward() returns dlogits (already averaged over the batch).
+ */
+class SoftmaxCrossEntropy
+{
+  public:
+    /** @pre logits is (N, C), labels has N entries in [0, C). */
+    float forward(const tensor::Tensor &logits,
+                  const std::vector<int> &labels);
+
+    /** Gradient with respect to the logits of the last forward call. */
+    tensor::Tensor backward() const;
+
+    /** Softmax probabilities of the last forward call. */
+    const tensor::Tensor &probs() const { return probs_; }
+
+  private:
+    tensor::Tensor probs_;
+    std::vector<int> labels_;
+};
+
+/** Index of the maximum logit per row. */
+std::vector<int> argmaxRows(const tensor::Tensor &logits);
+
+} // namespace decepticon::nn
+
+#endif // DECEPTICON_NN_LOSS_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SGD (with momentum + weight decay) and Adam optimizers over flat
+ * parameter lists. Fine-tuning in the paper uses small learning rates,
+ * weight decay, and few epochs; both knobs are explicit here.
+ */
+
+#ifndef DECEPTICON_NN_OPTIM_HH
+#define DECEPTICON_NN_OPTIM_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param.hh"
+
+namespace decepticon::nn {
+
+/** Plain SGD with optional momentum and decoupled weight decay. */
+class Sgd
+{
+  public:
+    Sgd(ParamRefs params, float lr, float momentum = 0.0f,
+        float weight_decay = 0.0f);
+
+    /** Apply one update using the currently accumulated gradients. */
+    void step();
+
+    /** Zero all parameter gradients. */
+    void zeroGrad();
+
+    float lr() const { return lr_; }
+    void setLr(float lr) { lr_ = lr; }
+
+  private:
+    ParamRefs params_;
+    float lr_;
+    float momentum_;
+    float weightDecay_;
+    std::vector<tensor::Tensor> velocity_;
+};
+
+/** Adam with decoupled weight decay (AdamW-style). */
+class Adam
+{
+  public:
+    Adam(ParamRefs params, float lr, float beta1 = 0.9f,
+         float beta2 = 0.999f, float eps = 1e-8f,
+         float weight_decay = 0.0f);
+
+    void step();
+    void zeroGrad();
+
+    float lr() const { return lr_; }
+    void setLr(float lr) { lr_ = lr; }
+
+  private:
+    ParamRefs params_;
+    float lr_;
+    float beta1_;
+    float beta2_;
+    float eps_;
+    float weightDecay_;
+    long t_ = 0;
+    std::vector<tensor::Tensor> m_;
+    std::vector<tensor::Tensor> v_;
+};
+
+} // namespace decepticon::nn
+
+#endif // DECEPTICON_NN_OPTIM_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Trainable parameter: a value tensor paired with a gradient
+ * accumulator of identical shape. Layers expose their parameters via
+ * params() so optimizers and the weight-extraction tooling can iterate
+ * over a model's full weight set uniformly.
+ */
+
+#ifndef DECEPTICON_NN_PARAM_HH
+#define DECEPTICON_NN_PARAM_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace decepticon::nn {
+
+/** A named, trainable tensor with its gradient accumulator. */
+struct Parameter
+{
+    std::string name;
+    tensor::Tensor value;
+    tensor::Tensor grad;
+
+    Parameter() = default;
+
+    Parameter(std::string name, std::vector<std::size_t> shape)
+        : name(std::move(name)), value(shape), grad(std::move(shape))
+    {
+    }
+
+    /** Reset accumulated gradients to zero. */
+    void zeroGrad() { grad.fill(0.0f); }
+
+    /** Element count. */
+    std::size_t size() const { return value.size(); }
+};
+
+/** Flat list of parameter pointers (non-owning). */
+using ParamRefs = std::vector<Parameter *>;
+
+/** Zero the gradients of every parameter in the list. */
+inline void
+zeroGrads(const ParamRefs &params)
+{
+    for (auto *p : params)
+        p->zeroGrad();
+}
+
+/** Total number of scalar weights across the list. */
+inline std::size_t
+totalParamCount(const ParamRefs &params)
+{
+    std::size_t n = 0;
+    for (auto *p : params)
+        n += p->size();
+    return n;
+}
+
+} // namespace decepticon::nn
+
+#endif // DECEPTICON_NN_PARAM_HH

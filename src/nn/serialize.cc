@@ -1,0 +1,112 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace decepticon::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xdecef11e;
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+readU32(std::istream &is, std::uint32_t &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writeU32(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+readString(std::istream &is, std::string &s)
+{
+    std::uint32_t n = 0;
+    if (!readU32(is, n) || n > (1u << 20))
+        return false;
+    s.resize(n);
+    is.read(s.data(), static_cast<std::streamsize>(n));
+    return static_cast<bool>(is);
+}
+
+} // anonymous namespace
+
+bool
+saveParams(std::ostream &os, const ParamRefs &params)
+{
+    writeU32(os, kMagic);
+    writeU32(os, kVersion);
+    writeU32(os, static_cast<std::uint32_t>(params.size()));
+    for (const auto *p : params) {
+        writeString(os, p->name);
+        writeU32(os, static_cast<std::uint32_t>(p->value.rank()));
+        for (std::size_t d = 0; d < p->value.rank(); ++d)
+            writeU32(os, static_cast<std::uint32_t>(p->value.dim(d)));
+        os.write(reinterpret_cast<const char *>(p->value.data()),
+                 static_cast<std::streamsize>(p->value.size() *
+                                              sizeof(float)));
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+loadParams(std::istream &is, const ParamRefs &params)
+{
+    std::uint32_t magic = 0, version = 0, count = 0;
+    if (!readU32(is, magic) || magic != kMagic)
+        return false;
+    if (!readU32(is, version) || version != kVersion)
+        return false;
+    if (!readU32(is, count) || count != params.size())
+        return false;
+
+    for (auto *p : params) {
+        std::string name;
+        if (!readString(is, name) || name != p->name)
+            return false;
+        std::uint32_t rank = 0;
+        if (!readU32(is, rank) || rank != p->value.rank())
+            return false;
+        for (std::size_t d = 0; d < p->value.rank(); ++d) {
+            std::uint32_t dim = 0;
+            if (!readU32(is, dim) || dim != p->value.dim(d))
+                return false;
+        }
+        is.read(reinterpret_cast<char *>(p->value.data()),
+                static_cast<std::streamsize>(p->value.size() *
+                                             sizeof(float)));
+        if (!is)
+            return false;
+    }
+    return true;
+}
+
+bool
+saveParamsToFile(const std::string &path, const ParamRefs &params)
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && saveParams(os, params);
+}
+
+bool
+loadParamsFromFile(const std::string &path, const ParamRefs &params)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is && loadParams(is, params);
+}
+
+} // namespace decepticon::nn

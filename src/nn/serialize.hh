@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary checkpoint serialization for parameter sets. A downstream
+ * user of the library (or the attacker's tooling) needs to persist
+ * pre-trained backbones, victims, and extracted clones; the format is
+ * a versioned stream of (name, shape, float32 data) records with
+ * strict validation on load.
+ */
+
+#ifndef DECEPTICON_NN_SERIALIZE_HH
+#define DECEPTICON_NN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/param.hh"
+
+namespace decepticon::nn {
+
+/**
+ * Write every parameter (name, shape, values) to the stream.
+ * @return false on stream failure.
+ */
+bool saveParams(std::ostream &os, const ParamRefs &params);
+
+/**
+ * Read parameters back into an existing, identically structured
+ * parameter set. Names and shapes must match record for record.
+ * @return false on stream failure, magic/version mismatch, or any
+ *         name/shape mismatch (the target is left partially updated
+ *         only on such failure).
+ */
+bool loadParams(std::istream &is, const ParamRefs &params);
+
+/** Convenience file wrappers. */
+bool saveParamsToFile(const std::string &path, const ParamRefs &params);
+bool loadParamsFromFile(const std::string &path, const ParamRefs &params);
+
+} // namespace decepticon::nn
+
+#endif // DECEPTICON_NN_SERIALIZE_HH

@@ -1,0 +1,251 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace decepticon::tensor {
+
+namespace {
+
+std::size_t
+elementCount(const std::vector<std::size_t> &shape)
+{
+    std::size_t n = 1;
+    for (auto d : shape)
+        n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+} // anonymous namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(elementCount(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)), data_(elementCount(shape_), fill)
+{
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+Tensor
+Tensor::reshaped(std::vector<std::size_t> new_shape) const
+{
+    assert(elementCount(new_shape) == size());
+    Tensor t;
+    t.shape_ = std::move(new_shape);
+    t.data_ = data_;
+    return t;
+}
+
+void
+Tensor::fillUniform(util::Rng &rng, float bound)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+void
+Tensor::fillGaussian(util::Rng &rng, float stddev)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+void
+Tensor::fillXavier(util::Rng &rng, std::size_t fan_in, std::size_t fan_out)
+{
+    const float bound = std::sqrt(6.0f /
+        static_cast<float>(fan_in + fan_out));
+    fillUniform(rng, bound);
+}
+
+double
+Tensor::sum() const
+{
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double
+Tensor::meanAbs() const
+{
+    if (data_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (float v : data_)
+        s += std::fabs(v);
+    return s / static_cast<double>(data_.size());
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << shape_[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    assert(a.rank() == 2 && b.rank() == 2);
+    assert(a.dim(1) == b.dim(0));
+    const std::size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+    Tensor c({n, m});
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * m;
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.data() + p * m;
+            for (std::size_t j = 0; j < m; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposeB(const Tensor &a, const Tensor &b)
+{
+    assert(a.rank() == 2 && b.rank() == 2);
+    assert(a.dim(1) == b.dim(1));
+    const std::size_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
+    Tensor c({n, m});
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * m;
+        for (std::size_t j = 0; j < m; ++j) {
+            const float *brow = b.data() + j * k;
+            float s = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                s += arow[p] * brow[p];
+            crow[j] = s;
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposeA(const Tensor &a, const Tensor &b)
+{
+    assert(a.rank() == 2 && b.rank() == 2);
+    assert(a.dim(0) == b.dim(0));
+    const std::size_t k = a.dim(0), n = a.dim(1), m = b.dim(1);
+    Tensor c({n, m});
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *arow = a.data() + p * n;
+        const float *brow = b.data() + p * m;
+        for (std::size_t i = 0; i < n; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.data() + i * m;
+            for (std::size_t j = 0; j < m; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    assert(a.rank() == 2);
+    const std::size_t n = a.dim(0), m = a.dim(1);
+    Tensor t({m, n});
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            t.at(j, i) = a.at(i, j);
+    return t;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    assert(a.size() == b.size());
+    Tensor c = a;
+    for (std::size_t i = 0; i < c.size(); ++i)
+        c[i] += b[i];
+    return c;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    assert(a.size() == b.size());
+    Tensor c = a;
+    for (std::size_t i = 0; i < c.size(); ++i)
+        c[i] -= b[i];
+    return c;
+}
+
+void
+axpy(Tensor &a, const Tensor &b, float scale)
+{
+    assert(a.size() == b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] += scale * b[i];
+}
+
+void
+scaleInPlace(Tensor &a, float s)
+{
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] *= s;
+}
+
+Tensor
+softmaxRows(const Tensor &a)
+{
+    assert(a.rank() == 2);
+    const std::size_t n = a.dim(0), m = a.dim(1);
+    Tensor out({n, m});
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *row = a.data() + i * m;
+        float *orow = out.data() + i * m;
+        float mx = row[0];
+        for (std::size_t j = 1; j < m; ++j)
+            mx = std::max(mx, row[j]);
+        float s = 0.0f;
+        for (std::size_t j = 0; j < m; ++j) {
+            orow[j] = std::exp(row[j] - mx);
+            s += orow[j];
+        }
+        const float inv = 1.0f / s;
+        for (std::size_t j = 0; j < m; ++j)
+            orow[j] *= inv;
+    }
+    return out;
+}
+
+void
+addRowVector(Tensor &a, const Tensor &row)
+{
+    assert(a.rank() == 2);
+    assert(row.size() == a.dim(1));
+    const std::size_t n = a.dim(0), m = a.dim(1);
+    for (std::size_t i = 0; i < n; ++i) {
+        float *arow = a.data() + i * m;
+        for (std::size_t j = 0; j < m; ++j)
+            arow[j] += row[j];
+    }
+}
+
+} // namespace decepticon::tensor

@@ -1,0 +1,130 @@
+#include "trace/image.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace decepticon::trace {
+
+tensor::Tensor
+rasterize(const gpusim::KernelTrace &trace, std::size_t resolution)
+{
+    assert(resolution >= 8);
+    tensor::Tensor img({resolution, resolution});
+    if (trace.records.empty())
+        return img;
+
+    const double total = trace.totalTime();
+    // Normalize the duration axis by a high percentile rather than the
+    // raw maximum so a single noise-inflated kernel cannot rescale the
+    // whole image (the CNN's noise tolerance in Fig. 14 presumes the
+    // picture stays stable under small perturbations).
+    const double peak =
+        util::percentile(trace.durations(), 98.0);
+    if (total <= 0.0 || peak <= 0.0)
+        return img;
+
+    const auto res = static_cast<double>(resolution - 1);
+    for (const auto &rec : trace.records) {
+        const double x = std::clamp(rec.tStart / total, 0.0, 1.0);
+        const double y = std::clamp(rec.duration() / peak, 0.0, 1.0);
+        const auto col = static_cast<std::size_t>(x * res);
+        // Long-duration kernels at the top (row 0), like the plots.
+        const auto row = static_cast<std::size_t>((1.0 - y) * res);
+        float &px = img.at(row, col);
+        px = std::min(1.0f, px + 0.34f);
+    }
+    return img;
+}
+
+gpusim::KernelTrace
+cropRecords(const gpusim::KernelTrace &trace, std::size_t begin,
+            std::size_t end)
+{
+    assert(begin <= end && end <= trace.records.size());
+    gpusim::KernelTrace out;
+    out.kernelNames = trace.kernelNames;
+    if (begin == end)
+        return out;
+    const double t0 = trace.records[begin].tStart;
+    out.records.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+        gpusim::KernelRecord rec = trace.records[i];
+        rec.tStart -= t0;
+        rec.tEnd -= t0;
+        out.records.push_back(rec);
+    }
+    return out;
+}
+
+tensor::Tensor
+boxBlur3(const tensor::Tensor &img)
+{
+    assert(img.rank() == 2);
+    const std::size_t h = img.dim(0), w = img.dim(1);
+    tensor::Tensor out({h, w});
+    for (std::size_t r = 0; r < h; ++r) {
+        for (std::size_t c = 0; c < w; ++c) {
+            float sum = 0.0f;
+            int n = 0;
+            for (int dr = -1; dr <= 1; ++dr) {
+                for (int dc = -1; dc <= 1; ++dc) {
+                    const long rr = static_cast<long>(r) + dr;
+                    const long cc = static_cast<long>(c) + dc;
+                    if (rr < 0 || cc < 0 ||
+                        rr >= static_cast<long>(h) ||
+                        cc >= static_cast<long>(w))
+                        continue;
+                    sum += img.at(static_cast<std::size_t>(rr),
+                                  static_cast<std::size_t>(cc));
+                    ++n;
+                }
+            }
+            out.at(r, c) = sum / static_cast<float>(n);
+        }
+    }
+    return out;
+}
+
+std::string
+renderAscii(const tensor::Tensor &img, std::size_t max_cols)
+{
+    assert(img.rank() == 2);
+    assert(max_cols >= 8);
+    const std::size_t h = img.dim(0), w = img.dim(1);
+    const std::size_t step = (w + max_cols - 1) / max_cols;
+    static const char kRamp[] = {' ', '.', ':', '*', '#', '@'};
+
+    std::string out;
+    out.reserve((w / step + 2) * (h / step + 1));
+    for (std::size_t r = 0; r < h; r += step) {
+        for (std::size_t c = 0; c < w; c += step) {
+            // Max-pool the block so sparse ink stays visible.
+            float v = 0.0f;
+            for (std::size_t dr = 0; dr < step && r + dr < h; ++dr)
+                for (std::size_t dc = 0; dc < step && c + dc < w; ++dc)
+                    v = std::max(v, img.at(r + dr, c + dc));
+            const auto idx = static_cast<std::size_t>(
+                std::min(1.0f, v) * 5.0f);
+            out.push_back(kRamp[idx]);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+double
+imageDistance(const tensor::Tensor &a, const tensor::Tensor &b)
+{
+    assert(a.size() == b.size());
+    if (a.size() == 0)
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += std::fabs(static_cast<double>(a[i]) - b[i]);
+    return s / static_cast<double>(a.size());
+}
+
+} // namespace decepticon::trace

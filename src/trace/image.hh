@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Conversion of kernel execution traces into square grayscale images,
+ * the "architecture hint data conversion" of paper Sec. 5.4.2: the
+ * (invocation time, duration) scatter is plotted with equal axis
+ * scales, stripped of all decoration, grayscaled, and resized to a
+ * fixed resolution so a CNN can classify the execution pattern.
+ */
+
+#ifndef DECEPTICON_TRACE_IMAGE_HH
+#define DECEPTICON_TRACE_IMAGE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "gpusim/kernel.hh"
+#include "tensor/tensor.hh"
+
+namespace decepticon::trace {
+
+/**
+ * Rasterize a trace into a (resolution x resolution) grayscale image
+ * in [0, 1]. X is invocation time normalized to the trace duration;
+ * Y is kernel duration normalized to the trace's peak duration (long
+ * kernels near the top row, as in the paper's plots). Each record
+ * splats additively so dense kernel bands appear brighter.
+ *
+ * The paper renders 1024x1024 images; the resolution here is a
+ * parameter (64 by default across the repo) so CNN training stays
+ * tractable on one CPU core — see DESIGN.md, substitution table.
+ */
+tensor::Tensor rasterize(const gpusim::KernelTrace &trace,
+                         std::size_t resolution);
+
+/**
+ * Keep only records with index in [begin, end) and rebase timestamps
+ * to start at zero. Used by the corner-case pre-processing that crops
+ * XLA-optimized traces to their encoder regions (paper Sec. 5.4.3).
+ */
+gpusim::KernelTrace cropRecords(const gpusim::KernelTrace &trace,
+                                std::size_t begin, std::size_t end);
+
+/** Mean absolute pixel difference between two equal-size images. */
+double imageDistance(const tensor::Tensor &a, const tensor::Tensor &b);
+
+/**
+ * 3x3 box blur (edge-clamped). Raw rasterized traces are sparse and
+ * sub-pixel timing jitter moves single pixels; blurring before a
+ * scalar distance comparison makes the comparison shift-tolerant the
+ * same way the CNN's convolutions are.
+ */
+tensor::Tensor boxBlur3(const tensor::Tensor &img);
+
+/**
+ * Render a grayscale image as ASCII art using an intensity ramp
+ * (space, '.', ':', '*', '#', '@'), down-sampled to at most max_cols
+ * columns — terminal visualization of the paper's fingerprint plots.
+ */
+std::string renderAscii(const tensor::Tensor &img,
+                        std::size_t max_cols = 64);
+
+} // namespace decepticon::trace
+
+#endif // DECEPTICON_TRACE_IMAGE_HH

@@ -1,0 +1,60 @@
+#include "transformer/confidence.hh"
+
+#include <cassert>
+
+namespace decepticon::transformer {
+
+std::vector<std::vector<double>>
+headConfidence(TransformerClassifier &model,
+               const std::vector<Example> &samples)
+{
+    const std::size_t layers = model.numLayers();
+    const std::size_t heads = model.config().numHeads;
+    std::vector<std::vector<double>> conf(
+        layers, std::vector<double>(heads, 0.0));
+    if (samples.empty())
+        return conf;
+
+    std::vector<std::vector<std::size_t>> counts(
+        layers, std::vector<std::size_t>(heads, 0));
+
+    for (const Example &ex : samples) {
+        // Forward pass populates per-layer attention caches.
+        model.logits(ex.tokens);
+        for (std::size_t l = 0; l < layers; ++l) {
+            const EncoderLayer &enc = model.encoder(l);
+            for (std::size_t h = 0; h < heads; ++h) {
+                if (!enc.activeHeads()[h])
+                    continue;
+                const tensor::Tensor &p = enc.attentionProbs(h);
+                const std::size_t t = p.dim(0);
+                for (std::size_t i = 0; i < t; ++i) {
+                    const float *row = p.data() + i * t;
+                    float mx = row[0];
+                    for (std::size_t j = 1; j < t; ++j)
+                        mx = std::max(mx, row[j]);
+                    conf[l][h] += mx;
+                    ++counts[l][h];
+                }
+            }
+        }
+    }
+    for (std::size_t l = 0; l < layers; ++l) {
+        for (std::size_t h = 0; h < heads; ++h) {
+            if (counts[l][h] > 0)
+                conf[l][h] /= static_cast<double>(counts[l][h]);
+        }
+    }
+    return conf;
+}
+
+std::vector<double>
+flattenConfidence(const std::vector<std::vector<double>> &conf)
+{
+    std::vector<double> flat;
+    for (const auto &row : conf)
+        flat.insert(flat.end(), row.begin(), row.end());
+    return flat;
+}
+
+} // namespace decepticon::transformer

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Attention-head confidence (Voita et al.): the mean of each head's
+ * per-query maximum attention weight. The paper (Sec. 8, Fig. 20) uses
+ * the Pearson correlation of head confidences between a pre-trained
+ * model and a fine-tuned model to locate pruned heads and confirm
+ * lineage.
+ */
+
+#ifndef DECEPTICON_TRANSFORMER_CONFIDENCE_HH
+#define DECEPTICON_TRANSFORMER_CONFIDENCE_HH
+
+#include <vector>
+
+#include "transformer/classifier.hh"
+#include "transformer/task.hh"
+
+namespace decepticon::transformer {
+
+/**
+ * Per-(layer, head) confidence matrix averaged over a sample set.
+ * Entry [l][h] is the mean over sequences and query positions of the
+ * maximum attention probability of head h in layer l. Pruned heads
+ * report 0.
+ */
+std::vector<std::vector<double>>
+headConfidence(TransformerClassifier &model,
+               const std::vector<Example> &samples);
+
+/** Flatten a confidence matrix row-major into one series. */
+std::vector<double>
+flattenConfidence(const std::vector<std::vector<double>> &conf);
+
+} // namespace decepticon::transformer
+
+#endif // DECEPTICON_TRANSFORMER_CONFIDENCE_HH

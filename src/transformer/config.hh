@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Architecture configuration for the trainable transformer classifier.
+ * Presets mirror the BERT family's size ladder (tiny/mini/small/base/
+ * large) scaled down so real pre-training and fine-tuning run on one
+ * CPU core; the *ratios* between presets (layer count, hidden size)
+ * match the real family so fingerprint experiments see the same
+ * structural differences the paper exploits.
+ */
+
+#ifndef DECEPTICON_TRANSFORMER_CONFIG_HH
+#define DECEPTICON_TRANSFORMER_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+namespace decepticon::transformer {
+
+/** Hyper-parameters of a TransformerClassifier. */
+struct TransformerConfig
+{
+    std::size_t vocab = 64;
+    std::size_t maxSeqLen = 16;
+    std::size_t hidden = 32;
+    std::size_t numLayers = 2;
+    std::size_t numHeads = 2;
+    std::size_t ffnDim = 64;
+    std::size_t numClasses = 2;
+    /**
+     * Decoder-style (GPT-2-like) masked self-attention: position i
+     * attends only to positions <= i, and the classifier pools the
+     * last token instead of the first (paper Sec. 2.2: "decoders are
+     * similar to encoders, except the masked self-attention").
+     */
+    bool causal = false;
+
+    /** Hidden size per attention head. */
+    std::size_t headDim() const { return hidden / numHeads; }
+
+    /** Sanity-check divisibility and non-zero sizes. */
+    bool
+    valid() const
+    {
+        return vocab > 0 && maxSeqLen > 0 && hidden > 0 && numLayers > 0 &&
+               numHeads > 0 && ffnDim > 0 && numClasses > 0 &&
+               hidden % numHeads == 0;
+    }
+};
+
+/** Scaled-down analog of BERT-tiny (2 layers). */
+TransformerConfig inline
+makeTinyConfig()
+{
+    TransformerConfig c;
+    c.vocab = 64;
+    c.maxSeqLen = 16;
+    c.hidden = 16;
+    c.numLayers = 2;
+    c.numHeads = 2;
+    c.ffnDim = 32;
+    return c;
+}
+
+/** Scaled-down analog of BERT-mini (4 layers). */
+TransformerConfig inline
+makeMiniConfig()
+{
+    TransformerConfig c;
+    c.vocab = 64;
+    c.maxSeqLen = 16;
+    c.hidden = 32;
+    c.numLayers = 4;
+    c.numHeads = 2;
+    c.ffnDim = 64;
+    return c;
+}
+
+/** Scaled-down analog of BERT-base (12 layers, 12:16 hidden ratio). */
+TransformerConfig inline
+makeBaseConfig()
+{
+    TransformerConfig c;
+    c.vocab = 64;
+    c.maxSeqLen = 16;
+    c.hidden = 48;
+    c.numLayers = 6;
+    c.numHeads = 4;
+    c.ffnDim = 96;
+    return c;
+}
+
+/** Scaled-down decoder-only analog of GPT-2. */
+TransformerConfig inline
+makeGpt2Config()
+{
+    TransformerConfig c = makeMiniConfig();
+    c.causal = true;
+    return c;
+}
+
+} // namespace decepticon::transformer
+
+#endif // DECEPTICON_TRANSFORMER_CONFIG_HH

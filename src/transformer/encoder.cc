@@ -1,0 +1,193 @@
+#include "transformer/encoder.hh"
+
+#include <cmath>
+
+namespace decepticon::transformer {
+
+tensor::Tensor
+sliceHead(const tensor::Tensor &x, std::size_t h, std::size_t head_dim)
+{
+    assert(x.rank() == 2);
+    const std::size_t t = x.dim(0), d = x.dim(1);
+    assert((h + 1) * head_dim <= d);
+    tensor::Tensor out({t, head_dim});
+    for (std::size_t i = 0; i < t; ++i) {
+        const float *src = x.data() + i * d + h * head_dim;
+        float *dst = out.data() + i * head_dim;
+        for (std::size_t j = 0; j < head_dim; ++j)
+            dst[j] = src[j];
+    }
+    return out;
+}
+
+void
+scatterHead(tensor::Tensor &dst, const tensor::Tensor &block, std::size_t h,
+            std::size_t head_dim)
+{
+    assert(dst.rank() == 2 && block.rank() == 2);
+    const std::size_t t = dst.dim(0), d = dst.dim(1);
+    assert(block.dim(0) == t && block.dim(1) == head_dim);
+    for (std::size_t i = 0; i < t; ++i) {
+        float *out = dst.data() + i * d + h * head_dim;
+        const float *src = block.data() + i * head_dim;
+        for (std::size_t j = 0; j < head_dim; ++j)
+            out[j] += src[j];
+    }
+}
+
+EncoderLayer::EncoderLayer(const std::string &name,
+                           const TransformerConfig &cfg, util::Rng &rng)
+    : hidden_(cfg.hidden),
+      numHeads_(cfg.numHeads),
+      headDim_(cfg.headDim()),
+      causal_(cfg.causal),
+      wq_(name + ".attn.q", cfg.hidden, cfg.hidden, rng),
+      wk_(name + ".attn.k", cfg.hidden, cfg.hidden, rng),
+      wv_(name + ".attn.v", cfg.hidden, cfg.hidden, rng),
+      wo_(name + ".attn.out", cfg.hidden, cfg.hidden, rng),
+      ln1_(name + ".ln1", cfg.hidden),
+      ln2_(name + ".ln2", cfg.hidden),
+      ff1_(name + ".ffn.1", cfg.hidden, cfg.ffnDim, rng),
+      ff2_(name + ".ffn.2", cfg.ffnDim, cfg.hidden, rng),
+      activeHeads_(cfg.numHeads, true)
+{
+    assert(cfg.valid());
+}
+
+tensor::Tensor
+EncoderLayer::forward(const tensor::Tensor &x)
+{
+    assert(x.rank() == 2 && x.dim(1) == hidden_);
+    const std::size_t t = x.dim(0);
+
+    cachedQ_ = wq_.forward(x);
+    cachedK_ = wk_.forward(x);
+    cachedV_ = wv_.forward(x);
+    cachedProbs_.assign(numHeads_, tensor::Tensor());
+
+    tensor::Tensor attn_cat({t, hidden_});
+    const float scale = 1.0f / std::sqrt(static_cast<float>(headDim_));
+    for (std::size_t h = 0; h < numHeads_; ++h) {
+        if (!activeHeads_[h])
+            continue;
+        tensor::Tensor qh = sliceHead(cachedQ_, h, headDim_);
+        tensor::Tensor kh = sliceHead(cachedK_, h, headDim_);
+        tensor::Tensor vh = sliceHead(cachedV_, h, headDim_);
+        tensor::Tensor scores = tensor::matmulTransposeB(qh, kh);
+        tensor::scaleInPlace(scores, scale);
+        if (causal_) {
+            // Masked self-attention (decoder block): position i may
+            // not attend to the future. Masked probabilities are
+            // exactly zero, so the softmax backward needs no change.
+            for (std::size_t i = 0; i < t; ++i) {
+                float *row = scores.data() + i * t;
+                for (std::size_t j = i + 1; j < t; ++j)
+                    row[j] = -1e30f;
+            }
+        }
+        cachedProbs_[h] = tensor::softmaxRows(scores);
+        tensor::Tensor oh = tensor::matmul(cachedProbs_[h], vh);
+        scatterHead(attn_cat, oh, h, headDim_);
+    }
+
+    tensor::Tensor ao = wo_.forward(attn_cat);
+    tensor::Tensor r1 = tensor::add(x, ao);
+    tensor::Tensor h1 = ln1_.forward(r1);
+
+    tensor::Tensor f = ff2_.forward(act_.forward(ff1_.forward(h1)));
+    tensor::Tensor r2 = tensor::add(h1, f);
+    return ln2_.forward(r2);
+}
+
+tensor::Tensor
+EncoderLayer::backward(const tensor::Tensor &dy)
+{
+    const std::size_t t = dy.dim(0);
+
+    tensor::Tensor dr2 = ln2_.backward(dy);
+    // r2 = h1 + f: gradient flows unchanged to both addends.
+    tensor::Tensor dh1_ffn =
+        ff1_.backward(act_.backward(ff2_.backward(dr2)));
+    tensor::Tensor dh1 = tensor::add(dr2, dh1_ffn);
+
+    tensor::Tensor dr1 = ln1_.backward(dh1);
+    tensor::Tensor d_attn_cat = wo_.backward(dr1);
+
+    tensor::Tensor dq({t, hidden_});
+    tensor::Tensor dk({t, hidden_});
+    tensor::Tensor dv({t, hidden_});
+    const float scale = 1.0f / std::sqrt(static_cast<float>(headDim_));
+
+    for (std::size_t h = 0; h < numHeads_; ++h) {
+        if (!activeHeads_[h])
+            continue;
+        tensor::Tensor doh = sliceHead(d_attn_cat, h, headDim_);
+        tensor::Tensor qh = sliceHead(cachedQ_, h, headDim_);
+        tensor::Tensor kh = sliceHead(cachedK_, h, headDim_);
+        tensor::Tensor vh = sliceHead(cachedV_, h, headDim_);
+        const tensor::Tensor &p = cachedProbs_[h];
+
+        // oh = P vh.
+        tensor::Tensor dp = tensor::matmulTransposeB(doh, vh);
+        tensor::Tensor dvh = tensor::matmulTransposeA(p, doh);
+
+        // Softmax backward per row: ds = P .* (dp - rowsum(dp .* P)).
+        tensor::Tensor ds({t, t});
+        for (std::size_t i = 0; i < t; ++i) {
+            const float *prow = p.data() + i * t;
+            const float *dprow = dp.data() + i * t;
+            float dot = 0.0f;
+            for (std::size_t j = 0; j < t; ++j)
+                dot += dprow[j] * prow[j];
+            float *dsrow = ds.data() + i * t;
+            for (std::size_t j = 0; j < t; ++j)
+                dsrow[j] = prow[j] * (dprow[j] - dot);
+        }
+        tensor::scaleInPlace(ds, scale);
+
+        // scores = qh kh^T (pre-scale): dq = ds kh, dk = ds^T qh.
+        tensor::Tensor dqh = tensor::matmul(ds, kh);
+        tensor::Tensor dkh = tensor::matmulTransposeA(ds, qh);
+
+        scatterHead(dq, dqh, h, headDim_);
+        scatterHead(dk, dkh, h, headDim_);
+        scatterHead(dv, dvh, h, headDim_);
+    }
+
+    tensor::Tensor dx = wq_.backward(dq);
+    dx = tensor::add(dx, wk_.backward(dk));
+    dx = tensor::add(dx, wv_.backward(dv));
+    dx = tensor::add(dx, dr1); // residual path r1 = x + ao
+    return dx;
+}
+
+nn::ParamRefs
+EncoderLayer::params()
+{
+    nn::ParamRefs out;
+    for (auto *group : {&wq_, &wk_, &wv_, &wo_, &ff1_, &ff2_}) {
+        auto ps = group->params();
+        out.insert(out.end(), ps.begin(), ps.end());
+    }
+    for (auto *ln : {&ln1_, &ln2_}) {
+        auto ps = ln->params();
+        out.insert(out.end(), ps.begin(), ps.end());
+    }
+    return out;
+}
+
+void
+EncoderLayer::setActiveHeads(std::vector<bool> active)
+{
+    assert(active.size() == numHeads_);
+    activeHeads_ = std::move(active);
+}
+
+const tensor::Tensor &
+EncoderLayer::attentionProbs(std::size_t h) const
+{
+    assert(h < cachedProbs_.size());
+    return cachedProbs_[h];
+}
+
+} // namespace decepticon::transformer

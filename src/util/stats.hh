@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Descriptive statistics used across the evaluation harness: moments,
+ * percentiles, histograms, and Pearson correlation (the metric behind
+ * the paper's head-confidence analysis, Fig. 20).
+ */
+
+#ifndef DECEPTICON_UTIL_STATS_HH
+#define DECEPTICON_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace decepticon::util {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Population variance; 0 for fewer than two samples. */
+double variance(const std::vector<double> &xs);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile.
+ * @param xs samples (not required to be sorted)
+ * @param p percentile in [0, 100]
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Pearson correlation coefficient of two equal-length series.
+ * Returns 0 if either series is constant or the series are empty.
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Fixed-width histogram over [lo, hi]; values outside the range are
+ * clamped into the first/last bin.
+ */
+struct Histogram
+{
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<std::size_t> counts;
+
+    /** Build a histogram with the given bin count. @pre bins > 0, hi > lo */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Insert one sample. */
+    void add(double x);
+
+    /** Insert many samples. */
+    void addAll(const std::vector<double> &xs);
+
+    /** Total number of inserted samples. */
+    std::size_t total() const;
+
+    /** Center of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Fraction of samples with |value| <= bound (exact, from raw data). */
+    static double fractionWithinAbs(const std::vector<double> &xs,
+                                    double bound);
+};
+
+/**
+ * Simple ordinary-least-squares fit y = a + b*x.
+ * Returns {intercept, slope}; slope is 0 for constant x.
+ */
+struct LinearFit
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+};
+
+LinearFit fitLine(const std::vector<double> &xs,
+                  const std::vector<double> &ys);
+
+} // namespace decepticon::util
+
+#endif // DECEPTICON_UTIL_STATS_HH

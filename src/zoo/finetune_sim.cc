@@ -1,0 +1,109 @@
+#include "zoo/finetune_sim.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace decepticon::zoo {
+
+double
+FineTuneSimulator::epochSigma(std::size_t epoch,
+                              const FineTuneOptions &opts)
+{
+    const auto e = static_cast<double>(epoch + 1);
+    const auto peak = static_cast<double>(opts.peakEpoch);
+    if (e <= peak) {
+        // Linear ramp from startSigma up to peakSigma.
+        return opts.startSigma +
+               (opts.peakSigma - opts.startSigma) * (e / peak);
+    }
+    const auto end = static_cast<double>(opts.decayEndEpoch);
+    if (e >= end)
+        return opts.floorSigma;
+    // Linear decay from peakSigma down to floorSigma.
+    const double frac = (e - peak) / (end - peak);
+    return opts.peakSigma - (opts.peakSigma - opts.floorSigma) * frac;
+}
+
+namespace {
+
+/** Apply one epoch of the update law to every encoder weight. */
+void
+applyEpoch(WeightStore &ws, const WeightStore &pretrained, double sigma,
+           const FineTuneOptions &opts, util::Rng &rng)
+{
+    for (std::size_t l = 0; l < ws.layers.size(); ++l) {
+        auto &w = ws.layers[l].w;
+        const auto &w0 = pretrained.layers[l].w;
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            // U-shape: updates scale with the pre-trained magnitude.
+            const double mag =
+                std::fabs(static_cast<double>(w0[i])) / opts.wRef;
+            double s = sigma * (1.0 + opts.uShapeAlpha * mag * mag);
+            if (rng.bernoulli(opts.outlierProb))
+                s *= opts.outlierScale;
+            w[i] += static_cast<float>(rng.gaussian(0.0, s));
+        }
+    }
+}
+
+/** Converged head values: where fine-tuning drives the new layer. */
+std::vector<float>
+makeHeadTarget(std::size_t n, util::Rng &rng)
+{
+    std::vector<float> target(n);
+    for (auto &v : target)
+        v = static_cast<float>(rng.gaussian(0.0, 0.15));
+    return target;
+}
+
+} // anonymous namespace
+
+WeightStore
+FineTuneSimulator::fineTune(const WeightStore &pretrained,
+                            const FineTuneOptions &opts, std::uint64_t seed)
+{
+    auto traj = fineTuneTrajectory(pretrained, opts, seed);
+    assert(!traj.empty());
+    return std::move(traj.back());
+}
+
+std::vector<WeightStore>
+FineTuneSimulator::fineTuneTrajectory(const WeightStore &pretrained,
+                                      const FineTuneOptions &opts,
+                                      std::uint64_t seed)
+{
+    assert(opts.epochs > 0);
+    util::Rng rng(seed);
+
+    WeightStore current = pretrained;
+    // The task head is newly added for the downstream task: random
+    // init, converging exponentially toward a task-specific target.
+    const std::vector<float> head_target =
+        makeHeadTarget(opts.headWeights, rng);
+    current.head.name = "task_head";
+    current.head.w.assign(opts.headWeights, 0.0f);
+    for (auto &v : current.head.w)
+        v = static_cast<float>(rng.gaussian(0.0, 0.02f));
+    current.analyticHeadWeights = pretrained.analyticHeadWeights;
+
+    std::vector<WeightStore> trajectory;
+    trajectory.reserve(opts.epochs);
+    const double head_tau = 4.0;
+    for (std::size_t e = 0; e < opts.epochs; ++e) {
+        applyEpoch(current, pretrained, epochSigma(e, opts), opts, rng);
+        // Exponential head convergence (Fig. 6, second panel).
+        const double blend =
+            1.0 - std::exp(-1.0 / head_tau);
+        for (std::size_t i = 0; i < current.head.w.size(); ++i) {
+            current.head.w[i] += static_cast<float>(
+                blend * (head_target[i] - current.head.w[i]) +
+                rng.gaussian(0.0, 0.002));
+        }
+        trajectory.push_back(current);
+    }
+    return trajectory;
+}
+
+} // namespace decepticon::zoo

@@ -1,0 +1,189 @@
+#include "zoo/zoo.hh"
+
+#include <cassert>
+
+#include "util/rng.hh"
+
+namespace decepticon::zoo {
+
+namespace {
+
+/** A transformer family/size template with full-scale dimensions. */
+struct FamilySpec
+{
+    const char *family;
+    const char *sizeClass;
+    std::size_t layers;
+    std::size_t hidden;
+};
+
+// Full-scale shapes of the families the paper evaluates (Sec. 7.1).
+const FamilySpec kFamilies[] = {
+    {"BERT", "tiny", 2, 128},
+    {"BERT", "mini", 4, 256},
+    {"BERT", "small", 4, 512},
+    {"BERT", "medium", 8, 512},
+    {"DistilBERT", "distill", 6, 768},
+    {"BERT", "base", 12, 768},
+    {"BERT", "large", 24, 1024},
+    {"GPT-2", "base", 12, 768},
+    {"GPT-2", "medium", 24, 1024},
+    {"RoBERTa", "base", 12, 768},
+    {"RoBERTa", "large", 24, 1024},
+    {"ALBERT", "base", 12, 768},
+    {"ALBERT", "xxlarge", 12, 4096},
+    {"DeBERTa", "xsmall", 12, 384},
+    {"MobileBERT", "base", 24, 512},
+    {"XLNet", "base", 12, 768},
+    {"BART", "base", 12, 768},
+    {"T5", "base", 12, 768},
+    {"SpanBERT", "base", 12, 768},
+    {"CamemBERT", "base", 12, 768},
+    {"RuBERT", "base", 12, 768},
+};
+constexpr std::size_t kNumFamilies = std::size(kFamilies);
+
+const gpusim::Developer kDevelopers[] = {
+    gpusim::Developer::HuggingFace, gpusim::Developer::Nvidia,
+    gpusim::Developer::Google,      gpusim::Developer::Meta,
+    gpusim::Developer::Amazon,      gpusim::Developer::Community,
+};
+
+const char *const kTasks[] = {
+    "squad", "mnli", "sst2", "cola",  "qqp",  "stsb",
+    "rte",   "wnli", "mrpc", "qnli", "ner",  "sentiment",
+};
+
+} // anonymous namespace
+
+ModelZoo
+ModelZoo::buildDefault(std::uint64_t seed, std::size_t num_pretrained,
+                       std::size_t num_finetuned)
+{
+    util::Rng rng(seed);
+    ModelZoo zoo;
+
+    for (std::size_t i = 0; i < num_pretrained; ++i) {
+        const FamilySpec &spec = kFamilies[i % kNumFamilies];
+        ModelIdentity m;
+        m.family = spec.family;
+        m.sizeClass = spec.sizeClass;
+        m.arch.numLayers = spec.layers;
+        m.arch.hidden = spec.hidden;
+        m.arch.numHeads = std::max<std::size_t>(2, spec.hidden / 64);
+        m.arch.seqLen = 128;
+
+        // Software signature: source repo and optimization choices.
+        const auto dev = kDevelopers[rng.uniformInt(std::size(kDevelopers))];
+        m.signature.developer = dev;
+        if (dev == gpusim::Developer::Google) {
+            m.signature.framework = gpusim::Framework::TensorFlow;
+        } else if (dev == gpusim::Developer::Amazon) {
+            m.signature.framework = gpusim::Framework::Mxnet;
+        } else if (dev == gpusim::Developer::Nvidia) {
+            m.signature.framework = rng.bernoulli(0.5)
+                                        ? gpusim::Framework::PyTorch
+                                        : gpusim::Framework::TensorFlow;
+        } else {
+            m.signature.framework = gpusim::Framework::PyTorch;
+        }
+        // NVIDIA releases are tensor-core optimized regardless of
+        // framework (paper Sec. 4.2).
+        m.signature.useTensorCores = dev == gpusim::Developer::Nvidia;
+        m.signature.useXla =
+            m.signature.framework == gpusim::Framework::TensorFlow &&
+            rng.bernoulli(0.4);
+        m.signature.fusionLevel =
+            static_cast<int>(rng.uniformInt(3));
+        // Unique dialect per release: library versions/build flags.
+        m.signature.kernelDialect = static_cast<int>(i);
+
+        // Vocabulary profile.
+        if (std::string(spec.family) == "CamemBERT")
+            m.vocabProfile.language = Language::French;
+        else if (std::string(spec.family) == "RuBERT")
+            m.vocabProfile.language = Language::Russian;
+        else
+            m.vocabProfile.language = Language::English;
+        m.vocabProfile.cased = rng.bernoulli(0.4);
+        m.vocabProfile.richness =
+            std::string(spec.family) == "RoBERTa" ? 2 : 1;
+
+        m.name = gpusim::toString(dev) + "/" + std::string(spec.family) +
+                 "-" + spec.sizeClass +
+                 (m.vocabProfile.cased ? "-cased" : "-uncased") + "-r" +
+                 std::to_string(i);
+        m.pretrainedName = m.name;
+        m.isPretrained = true;
+        m.weightSeed = rng.nextU64();
+        zoo.models_.push_back(std::move(m));
+    }
+
+    const std::size_t base = zoo.models_.size();
+    for (std::size_t i = 0; i < num_finetuned; ++i) {
+        const ModelIdentity &parent =
+            zoo.models_[rng.uniformInt(base)];
+        ModelIdentity m = parent;
+        m.isPretrained = false;
+        m.pretrainedName = parent.name;
+        m.task = kTasks[rng.uniformInt(std::size(kTasks))];
+        m.name = parent.name + "@" + m.task + "-ft" + std::to_string(i);
+        // Fine-tuning replaces the task head; the trace-visible
+        // architecture and signature are inherited unchanged.
+        m.arch.numClasses = 2 + rng.uniformInt(4);
+        m.weightSeed = rng.nextU64();
+        zoo.models_.push_back(std::move(m));
+    }
+    return zoo;
+}
+
+std::vector<const ModelIdentity *>
+ModelZoo::pretrained() const
+{
+    std::vector<const ModelIdentity *> out;
+    for (const auto &m : models_) {
+        if (m.isPretrained)
+            out.push_back(&m);
+    }
+    return out;
+}
+
+std::vector<const ModelIdentity *>
+ModelZoo::finetuned() const
+{
+    std::vector<const ModelIdentity *> out;
+    for (const auto &m : models_) {
+        if (!m.isPretrained)
+            out.push_back(&m);
+    }
+    return out;
+}
+
+const ModelIdentity *
+ModelZoo::byName(const std::string &name) const
+{
+    for (const auto &m : models_) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+ModelZoo::lineageNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &m : models_) {
+        if (m.isPretrained)
+            out.push_back(m.name);
+    }
+    return out;
+}
+
+void
+ModelZoo::add(ModelIdentity identity)
+{
+    models_.push_back(std::move(identity));
+}
+
+} // namespace decepticon::zoo

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The synthetic model zoo: 70 pre-trained identities plus 170+
+ * fine-tuned descendants, mirroring the population the paper downloads
+ * from HuggingFace / NVIDIA / Google / Meta repositories (Sec. 7.1).
+ * Each identity carries its full-scale architecture (for trace
+ * synthesis), its software signature (the execution fingerprint), and
+ * its vocabulary profile (the query-output fingerprint). A fine-tuned
+ * identity inherits all three from its pre-trained parent.
+ */
+
+#ifndef DECEPTICON_ZOO_ZOO_HH
+#define DECEPTICON_ZOO_ZOO_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/signature.hh"
+#include "gpusim/trace_generator.hh"
+#include "zoo/vocab.hh"
+
+namespace decepticon::zoo {
+
+/** One model release in the zoo. */
+struct ModelIdentity
+{
+    std::string name;        ///< e.g. "huggingface/bert-base-uncased"
+    std::string family;      ///< BERT, GPT-2, RoBERTa, ...
+    std::string sizeClass;   ///< tiny, mini, ..., large, xlarge, xxlarge
+    gpusim::ArchParams arch; ///< full-scale architecture
+    gpusim::SoftwareSignature signature;
+    VocabularyProfile vocabProfile;
+    /** Name of the pre-trained lineage (self for pre-trained models). */
+    std::string pretrainedName;
+    bool isPretrained = true;
+    /** Downstream task for fine-tuned releases ("" for pre-trained). */
+    std::string task;
+    /** Seed identifying this release's weights. */
+    std::uint64_t weightSeed = 0;
+};
+
+/** The zoo: a flat list of identities with lookup helpers. */
+class ModelZoo
+{
+  public:
+    /**
+     * Build the default population: num_pretrained base releases from
+     * mixed sources, and num_finetuned descendants fine-tuned for
+     * random tasks. Defaults match the paper's 70 + 170.
+     */
+    static ModelZoo buildDefault(std::uint64_t seed,
+                                 std::size_t num_pretrained = 70,
+                                 std::size_t num_finetuned = 170);
+
+    const std::vector<ModelIdentity> &models() const { return models_; }
+
+    /** Pointers to all pre-trained identities. */
+    std::vector<const ModelIdentity *> pretrained() const;
+
+    /** Pointers to all fine-tuned identities. */
+    std::vector<const ModelIdentity *> finetuned() const;
+
+    /** Lookup by exact name; nullptr if absent. */
+    const ModelIdentity *byName(const std::string &name) const;
+
+    /** All distinct pre-trained lineage names, in insertion order. */
+    std::vector<std::string> lineageNames() const;
+
+    /** Append one identity (used by tests and scenario builders). */
+    void add(ModelIdentity identity);
+
+  private:
+    std::vector<ModelIdentity> models_;
+};
+
+} // namespace decepticon::zoo
+
+#endif // DECEPTICON_ZOO_ZOO_HH

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the attack library: adversarial crafting/transfer,
+ * substitute-model baselines, and the head-pruning auditor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/adversarial.hh"
+#include "attack/head_pruning.hh"
+#include "attack/substitute.hh"
+#include "gpusim/trace_generator.hh"
+#include "transformer/trainer.hh"
+
+namespace da = decepticon::attack;
+namespace dtr = decepticon::transformer;
+namespace dg = decepticon::gpusim;
+
+namespace {
+
+dtr::TransformerConfig
+smallConfig()
+{
+    dtr::TransformerConfig cfg;
+    cfg.vocab = 16;
+    cfg.maxSeqLen = 8;
+    cfg.hidden = 16;
+    cfg.numLayers = 2;
+    cfg.numHeads = 2;
+    cfg.ffnDim = 32;
+    cfg.numClasses = 2;
+    return cfg;
+}
+
+/** A trained model on a fixed task, shared across tests. */
+struct TrainedFixture
+{
+    dtr::TransformerClassifier model;
+    dtr::MarkovTask task;
+
+    TrainedFixture()
+        : model(smallConfig(), 51), task(16, 2, 8, 600, 4.0)
+    {
+        dtr::TrainOptions opts;
+        opts.epochs = 5;
+        opts.lr = 2e-3f;
+        dtr::Trainer::train(model, task.sample(160, 1), opts);
+    }
+};
+
+TrainedFixture &
+fixture()
+{
+    static TrainedFixture fx;
+    return fx;
+}
+
+} // anonymous namespace
+
+TEST(Adversarial, CraftReturnsValidTokens)
+{
+    auto &fx = fixture();
+    const auto seeds = fx.task.sample(10, 2).examples;
+    da::AdversarialOptions opts;
+    for (const auto &ex : seeds) {
+        const auto adv =
+            da::craftAdversarial(fx.model, ex.tokens, ex.label, opts);
+        EXPECT_EQ(adv.size(), ex.tokens.size());
+        for (int t : adv) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(t, 16);
+        }
+    }
+}
+
+TEST(Adversarial, FlipLimitRespected)
+{
+    auto &fx = fixture();
+    const auto seeds = fx.task.sample(10, 3).examples;
+    da::AdversarialOptions opts;
+    opts.maxFlips = 1;
+    for (const auto &ex : seeds) {
+        const auto adv =
+            da::craftAdversarial(fx.model, ex.tokens, ex.label, opts);
+        std::size_t flips = 0;
+        for (std::size_t i = 0; i < adv.size(); ++i)
+            flips += adv[i] != ex.tokens[i] ? 1 : 0;
+        EXPECT_LE(flips, 1u);
+    }
+}
+
+TEST(Adversarial, WhiteBoxAttackFoolsOwnModel)
+{
+    // With the victim itself as surrogate (white-box), the attack
+    // should flip a large share of predictions.
+    auto &fx = fixture();
+    const auto seeds = fx.task.sample(40, 4).examples;
+    da::AdversarialOptions opts;
+    opts.maxFlips = 3;
+    const auto result =
+        da::evaluateTransfer(fx.model, fx.model, seeds, opts);
+    ASSERT_GT(result.eligible, 10u);
+    EXPECT_GT(result.successRate(), 0.5);
+}
+
+TEST(Adversarial, CloneTransfersBetterThanUnrelatedModel)
+{
+    auto &fx = fixture();
+    const auto seeds = fx.task.sample(40, 5).examples;
+    da::AdversarialOptions opts;
+    opts.maxFlips = 2;
+
+    // "Clone": an exact copy (ideal extraction).
+    dtr::TransformerClassifier clone(fx.model);
+    const auto with_clone =
+        da::evaluateTransfer(fx.model, clone, seeds, opts);
+
+    // Unrelated surrogate: different random model, no training.
+    dtr::TransformerClassifier unrelated(smallConfig(), 999);
+    const auto with_unrelated =
+        da::evaluateTransfer(fx.model, unrelated, seeds, opts);
+
+    EXPECT_GT(with_clone.successRate(),
+              with_unrelated.successRate());
+}
+
+TEST(Adversarial, EligibleCountsOnlyCorrectSeeds)
+{
+    auto &fx = fixture();
+    const auto eval =
+        dtr::Trainer::evaluate(fx.model, fx.task.sample(50, 6));
+    const auto seeds = fx.task.sample(50, 6).examples;
+    da::AdversarialOptions opts;
+    const auto result =
+        da::evaluateTransfer(fx.model, fx.model, seeds, opts);
+    EXPECT_EQ(result.eligible,
+              static_cast<std::size_t>(eval.accuracy * 50 + 0.5));
+}
+
+TEST(Substitute, RecordsVictimPredictions)
+{
+    auto &fx = fixture();
+    const auto inputs = fx.task.sample(20, 7).examples;
+    const auto records = da::recordPredictions(fx.model, inputs);
+    ASSERT_EQ(records.size(), 20u);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records.examples[i].tokens, inputs[i].tokens);
+        EXPECT_EQ(records.examples[i].label,
+                  fx.model.predict(inputs[i].tokens));
+    }
+    EXPECT_EQ(records.numClasses, 2u);
+}
+
+TEST(Substitute, BuildTrainsOnRecords)
+{
+    auto &fx = fixture();
+    dtr::TransformerClassifier random_pre(smallConfig(), 888);
+    const auto records = da::recordPredictions(
+        fx.model, fx.task.sample(60, 8).examples);
+    dtr::TrainOptions opts;
+    opts.epochs = 2;
+    auto sub = da::buildSubstitute(random_pre, records, opts, 9);
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->config().numClasses, 2u);
+    // The substitute should agree with the victim above chance on the
+    // records it was trained on.
+    std::vector<int> sub_preds, vic_preds;
+    for (const auto &ex : records.examples) {
+        sub_preds.push_back(sub->predict(ex.tokens));
+        vic_preds.push_back(ex.label);
+    }
+    EXPECT_GT(dtr::Trainer::agreement(sub_preds, vic_preds), 0.55);
+}
+
+TEST(HeadPruning, SameLineageConfidenceCorrelationHigh)
+{
+    // A wider model (4 layers x 4 heads = 16 confidence cells) so the
+    // Pearson correlation is meaningful, as in the paper's heat maps.
+    dtr::TransformerConfig cfg;
+    cfg.vocab = 16;
+    cfg.maxSeqLen = 8;
+    cfg.hidden = 16;
+    cfg.numLayers = 4;
+    cfg.numHeads = 4;
+    cfg.ffnDim = 32;
+    cfg.numClasses = 2;
+
+    dtr::MarkovTask pretask(16, 2, 8, 690, 4.0);
+    dtr::TransformerClassifier pre(cfg, 61);
+    dtr::TrainOptions popts;
+    popts.epochs = 3;
+    popts.lr = 2e-3f;
+    dtr::Trainer::train(pre, pretask.sample(100, 1), popts);
+
+    // Fine-tuned descendant for a different task.
+    dtr::TransformerClassifier ft(pre);
+    ft.resetHead(3, 10);
+    dtr::MarkovTask other(16, 3, 8, 700, 4.0);
+    dtr::TrainOptions opts;
+    opts.epochs = 2;
+    opts.lr = 2e-4f;
+    opts.headLrMultiplier = 20.0f;
+    dtr::Trainer::fineTune(ft, other.sample(60, 11), opts);
+
+    const auto samples = pretask.sample(16, 12).examples;
+    const double same = da::confidenceCorrelation(pre, ft, samples);
+
+    // A different lineage: independently trained on its own task.
+    dtr::TransformerClassifier stranger(cfg, 900);
+    dtr::MarkovTask stranger_task(16, 2, 8, 900, 4.0);
+    dtr::Trainer::train(stranger, stranger_task.sample(100, 2), popts);
+    const double cross =
+        da::confidenceCorrelation(pre, stranger, samples);
+
+    // Paper Fig. 20: same-lineage correlation high, cross clearly
+    // lower (both models are trained, so some structural correlation
+    // remains — the gap is what identifies lineage).
+    EXPECT_GT(same, 0.9);
+    EXPECT_LT(cross, 0.8);
+    EXPECT_GT(same, cross + 0.05);
+}
+
+TEST(HeadPruning, EstimateCountFromTraces)
+{
+    dg::SoftwareSignature sig;
+    const dg::TraceGenerator gen(sig);
+    dg::ArchParams dense;
+    dense.numLayers = 12;
+    dense.hidden = 768;
+    dense.numHeads = 12;
+    dense.seqLen = 128;
+
+    for (std::size_t pruned : {0u, 2u, 4u, 6u}) {
+        dg::ArchParams p = dense;
+        p.prunedHeads = pruned;
+        const auto victim = gen.generate(p, 1);
+        const auto ref = gen.generate(dense, 2);
+        EXPECT_EQ(da::estimatePrunedHeadCount(victim, ref, 12), pruned)
+            << "pruned=" << pruned;
+    }
+}
+
+TEST(HeadPruning, PredictPrunedHeadsReturnsLowestConfidence)
+{
+    auto &fx = fixture();
+    const auto samples = fx.task.sample(8, 13).examples;
+    const auto pruned = da::predictPrunedHeads(fx.model, samples, 2);
+    ASSERT_EQ(pruned.size(), 2u);
+
+    const auto conf = dtr::headConfidence(fx.model, samples);
+    // Every returned head must have confidence <= every kept head.
+    double max_pruned = 0.0;
+    for (const auto &[l, h] : pruned)
+        max_pruned = std::max(max_pruned, conf[l][h]);
+    std::size_t kept_below = 0;
+    for (std::size_t l = 0; l < conf.size(); ++l) {
+        for (std::size_t h = 0; h < conf[l].size(); ++h) {
+            const bool is_pruned =
+                std::find(pruned.begin(), pruned.end(),
+                          std::make_pair(l, h)) != pruned.end();
+            if (!is_pruned && conf[l][h] < max_pruned)
+                ++kept_below;
+        }
+    }
+    EXPECT_EQ(kept_below, 0u);
+}
+
+TEST(HeadPruning, MeanShortKernelDurationPositive)
+{
+    dg::SoftwareSignature sig;
+    const dg::TraceGenerator gen(sig);
+    dg::ArchParams arch;
+    arch.numLayers = 4;
+    const auto trace = gen.generate(arch, 3);
+    EXPECT_GT(da::meanShortKernelDuration(trace), 0.0);
+}
+
+/** Pruned-head count sweep: duration decreases monotonically. */
+class PruneSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PruneSweep, ShortKernelDurationDecreasesWithPruning)
+{
+    dg::SoftwareSignature sig;
+    sig.kernelDialect = GetParam();
+    const dg::TraceGenerator gen(sig);
+    dg::ArchParams arch;
+    arch.numLayers = 6;
+    arch.hidden = 512;
+    arch.numHeads = 8;
+
+    double prev = 1e18;
+    for (std::size_t pruned : {0u, 2u, 4u, 6u}) {
+        dg::ArchParams p = arch;
+        p.prunedHeads = pruned;
+        const double d =
+            da::meanShortKernelDuration(gen.generate(p, 1));
+        EXPECT_LT(d, prev);
+        prev = d;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dialects, PruneSweep, ::testing::Values(1, 2, 3));

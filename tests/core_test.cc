@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the level-1 Decepticon pipeline: extractor training,
+ * trace-based identification, and query-output disambiguation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/decepticon.hh"
+#include "core/two_level.hh"
+#include "gpusim/noise.hh"
+#include "gpusim/trace_generator.hh"
+
+namespace dc = decepticon::core;
+namespace dz = decepticon::zoo;
+namespace dg = decepticon::gpusim;
+namespace dtr = decepticon::transformer;
+
+namespace {
+
+dc::DecepticonOptions
+smallOptions()
+{
+    dc::DecepticonOptions opts;
+    opts.datasetOptions.imagesPerModel = 4;
+    opts.datasetOptions.resolution = 32;
+    opts.cnnOptions.epochs = 30;
+    opts.seed = 3;
+    return opts;
+}
+
+/** Shared trained pipeline over a small candidate pool. */
+struct PipelineFixture
+{
+    dz::ModelZoo zoo;
+    dc::Decepticon pipeline;
+    double testAccuracy;
+
+    PipelineFixture()
+        : zoo(dz::ModelZoo::buildDefault(11, 6, 12)),
+          pipeline(smallOptions()),
+          testAccuracy(pipeline.trainExtractor(zoo))
+    {
+    }
+};
+
+PipelineFixture &
+fixture()
+{
+    static PipelineFixture fx;
+    return fx;
+}
+
+dg::KernelTrace
+traceOf(const dz::ModelIdentity &m, std::uint64_t seed)
+{
+    return dg::TraceGenerator(m.signature).generate(m.arch, seed);
+}
+
+} // anonymous namespace
+
+TEST(Decepticon, ExtractorLearnsCandidatePool)
+{
+    EXPECT_GT(fixture().testAccuracy, 0.6);
+}
+
+TEST(Decepticon, ClassNamesMatchLineages)
+{
+    auto &fx = fixture();
+    EXPECT_EQ(fx.pipeline.classNames(), fx.zoo.lineageNames());
+}
+
+TEST(Decepticon, IdentifiesFineTunedVictims)
+{
+    auto &fx = fixture();
+    const auto finetuned = fx.zoo.finetuned();
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    for (const auto *victim : finetuned) {
+        // Fresh run seed: the attacker never saw this exact trace.
+        const auto trace = traceOf(*victim, 0xabcdef + total);
+        const auto res = fx.pipeline.identify(trace);
+        correct += res.pretrainedName == victim->pretrainedName ? 1 : 0;
+        ++total;
+    }
+    EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total),
+              0.6);
+}
+
+TEST(Decepticon, ReportsTopKCandidates)
+{
+    auto &fx = fixture();
+    const auto *victim = fx.zoo.finetuned().front();
+    const auto res = fx.pipeline.identify(traceOf(*victim, 1));
+    EXPECT_EQ(res.candidates.size(), 3u);
+    EXPECT_GT(res.topProbability, 0.0);
+    EXPECT_LE(res.topProbability, 1.0);
+}
+
+TEST(Decepticon, QueryProbesDisambiguateVariants)
+{
+    // Two lineages with identical signatures and architectures but
+    // different vocabularies (BERT vs CamemBERT style): architectural
+    // hints cannot separate them, queries can.
+    dz::ModelZoo zoo;
+    dz::ModelIdentity en;
+    en.name = "src/bert-twin-en";
+    en.family = "BERT";
+    en.sizeClass = "base";
+    en.arch.numLayers = 12;
+    en.arch.hidden = 768;
+    en.arch.numHeads = 12;
+    en.signature.kernelDialect = 5;
+    en.vocabProfile.language = dz::Language::English;
+    en.pretrainedName = en.name;
+    en.isPretrained = true;
+
+    dz::ModelIdentity fr = en;
+    fr.name = "src/bert-twin-fr";
+    fr.pretrainedName = fr.name;
+    fr.vocabProfile.language = dz::Language::French;
+    zoo.add(en);
+    zoo.add(fr);
+
+    dc::DecepticonOptions opts = smallOptions();
+    opts.cnnOptions.epochs = 15;
+    dc::Decepticon pipeline(opts);
+    pipeline.trainExtractor(zoo);
+
+    // Victim is the French twin; its trace is indistinguishable.
+    const auto trace = traceOf(fr, 99);
+    const auto res = pipeline.identify(
+        trace, dc::makeVictimQueryHook(fr.vocabProfile));
+    EXPECT_TRUE(res.usedQueryProbes);
+    EXPECT_EQ(res.pretrainedName, "src/bert-twin-fr");
+
+    const auto res_en = pipeline.identify(
+        traceOf(en, 100), dc::makeVictimQueryHook(en.vocabProfile));
+    EXPECT_EQ(res_en.pretrainedName, "src/bert-twin-en");
+}
+
+TEST(Decepticon, RobustToModerateTimingNoise)
+{
+    auto &fx = fixture();
+    const auto finetuned = fx.zoo.finetuned();
+    std::size_t correct = 0, total = 0;
+    for (const auto *victim : finetuned) {
+        auto trace = traceOf(*victim, 500 + total);
+        trace = dg::applyTimingNoise(trace, 16, 20.0, total);
+        const auto res = fx.pipeline.identify(trace);
+        correct += res.pretrainedName == victim->pretrainedName ? 1 : 0;
+        ++total;
+    }
+    // Paper Fig. 14: accuracy decays slowly under noise.
+    EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total),
+              0.5);
+}
+
+TEST(QueryHook, ReflectsProfile)
+{
+    dz::VocabularyProfile fr;
+    fr.language = dz::Language::French;
+    const auto hook = dc::makeVictimQueryHook(fr);
+    const auto resp = hook();
+    EXPECT_EQ(resp.size(), dz::standardProbeSet().size());
+    const auto expected =
+        dz::responseVector(fr, dz::standardProbeSet());
+    EXPECT_EQ(resp, expected);
+}
+
+TEST(TwoLevelAttack, IncompleteWhenIdentifiedModelHasNoWeights)
+{
+    // A pool where the level-1 extractor identifies a lineage whose
+    // weights the attacker never registered: the report is marked
+    // incomplete and carries no clone.
+    dz::ModelZoo zoo = dz::ModelZoo::buildDefault(51, 3, 0);
+
+    dc::TwoLevelOptions opts;
+    opts.level1.datasetOptions.imagesPerModel = 3;
+    opts.level1.datasetOptions.resolution = 32;
+    opts.level1.cnnOptions.epochs = 15;
+    opts.level1.seed = 2;
+
+    dtr::TransformerConfig cfg;
+    cfg.vocab = 16;
+    cfg.maxSeqLen = 8;
+    cfg.hidden = 8;
+    cfg.numLayers = 2;
+    cfg.numHeads = 2;
+    cfg.ffnDim = 16;
+    cfg.numClasses = 2;
+
+    dc::TwoLevelAttack attack(opts);
+    for (const auto *candidate : zoo.pretrained()) {
+        attack.addCandidate(
+            *candidate, std::make_shared<dtr::TransformerClassifier>(
+                            cfg, candidate->weightSeed));
+    }
+    EXPECT_GT(attack.prepare(), 0.0);
+
+    // Execute normally: the identified name is always registered, so
+    // the report completes.
+    const auto *parent = zoo.pretrained()[0];
+    dtr::TransformerClassifier victim(cfg, 9);
+    dtr::MarkovTask task(16, 2, 8, 5100, 4.0);
+    const auto trace = dg::TraceGenerator(parent->signature)
+                           .generate(parent->arch, 0xfee1);
+    const auto report = attack.execute(
+        victim, trace, dc::makeVictimQueryHook(parent->vocabProfile),
+        task.sample(20, 1), task.sample(10, 2).examples,
+        task.sample(10, 3).examples);
+    EXPECT_TRUE(report.complete);
+
+    // Incomplete path: format a hand-built report without a clone.
+    dc::AttackReport empty;
+    empty.identification.pretrainedName = "unknown/lineage";
+    const std::string text = dc::formatReport(empty);
+    EXPECT_NE(text.find("incomplete"), std::string::npos);
+}

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the GPU kernel-trace simulator: catalogs, signatures,
+ * trace structure (repetition, scaling, XLA, head pruning), and
+ * measurement-noise injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpusim/catalog.hh"
+#include "gpusim/kernel.hh"
+#include "gpusim/noise.hh"
+#include "gpusim/signature.hh"
+#include "gpusim/trace_generator.hh"
+
+namespace dg = decepticon::gpusim;
+
+namespace {
+
+dg::SoftwareSignature
+pytorchSig(int dialect = 0)
+{
+    dg::SoftwareSignature sig;
+    sig.framework = dg::Framework::PyTorch;
+    sig.developer = dg::Developer::HuggingFace;
+    sig.kernelDialect = dialect;
+    return sig;
+}
+
+dg::SoftwareSignature
+tfSig(bool xla = false)
+{
+    dg::SoftwareSignature sig;
+    sig.framework = dg::Framework::TensorFlow;
+    sig.developer = dg::Developer::Google;
+    sig.useXla = xla;
+    sig.kernelDialect = 1;
+    return sig;
+}
+
+dg::ArchParams
+bertBase()
+{
+    dg::ArchParams arch;
+    arch.numLayers = 12;
+    arch.hidden = 768;
+    arch.numHeads = 12;
+    arch.seqLen = 128;
+    return arch;
+}
+
+dg::ArchParams
+bertLarge()
+{
+    dg::ArchParams arch;
+    arch.numLayers = 24;
+    arch.hidden = 1024;
+    arch.numHeads = 16;
+    arch.seqLen = 128;
+    return arch;
+}
+
+} // anonymous namespace
+
+TEST(Signature, SeedStableAndDistinct)
+{
+    const auto a = pytorchSig(0);
+    const auto b = pytorchSig(1);
+    EXPECT_EQ(a.seed(), pytorchSig(0).seed());
+    EXPECT_NE(a.seed(), b.seed());
+    EXPECT_NE(a.seed(), tfSig().seed());
+}
+
+TEST(Signature, ToStringEncodesFields)
+{
+    const auto s = tfSig(true).toString();
+    EXPECT_NE(s.find("tensorflow"), std::string::npos);
+    EXPECT_NE(s.find("google"), std::string::npos);
+    EXPECT_NE(s.find("xla1"), std::string::npos);
+}
+
+TEST(Signature, EnumNames)
+{
+    EXPECT_EQ(dg::toString(dg::Framework::PyTorch), "pytorch");
+    EXPECT_EQ(dg::toString(dg::Framework::Mxnet), "mxnet");
+    EXPECT_EQ(dg::toString(dg::Developer::Meta), "meta");
+}
+
+TEST(Catalog, TensorFlowFarLargerThanPyTorch)
+{
+    const dg::KernelCatalog pt(pytorchSig());
+    const dg::KernelCatalog tf(tfSig());
+    // Paper Fig. 9: TF releases expose ~40x more unique kernels.
+    EXPECT_GT(tf.size(), 8 * pt.size());
+    EXPECT_LT(pt.size(), 40u);
+    EXPECT_GT(tf.size(), 150u);
+}
+
+TEST(Catalog, DeterministicForSignature)
+{
+    const dg::KernelCatalog a(pytorchSig(3));
+    const dg::KernelCatalog b(pytorchSig(3));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.name(static_cast<int>(i)), b.name(static_cast<int>(i)));
+}
+
+TEST(Catalog, DialectsProduceDifferentCatalogs)
+{
+    const dg::KernelCatalog a(pytorchSig(1));
+    const dg::KernelCatalog b(pytorchSig(2));
+    std::set<std::string> na, nb;
+    for (const auto &e : a.entries())
+        na.insert(e.name);
+    for (const auto &e : b.entries())
+        nb.insert(e.name);
+    EXPECT_NE(na, nb);
+}
+
+TEST(Catalog, HasAllCoreKernelClasses)
+{
+    const dg::KernelCatalog c(pytorchSig());
+    EXPECT_FALSE(c.entriesOfClass(dg::KernelClass::Gemm).empty());
+    EXPECT_FALSE(c.entriesOfClass(dg::KernelClass::AttnGemm).empty());
+    EXPECT_FALSE(c.entriesOfClass(dg::KernelClass::Softmax).empty());
+    EXPECT_FALSE(c.entriesOfClass(dg::KernelClass::LayerNorm).empty());
+    EXPECT_FALSE(c.entriesOfClass(dg::KernelClass::Memory).empty());
+}
+
+TEST(Catalog, NvidiaUsesTensorCoreKernels)
+{
+    dg::SoftwareSignature sig;
+    sig.developer = dg::Developer::Nvidia;
+    sig.useTensorCores = true;
+    const dg::KernelCatalog c(sig);
+    bool has_fp16 = false;
+    for (const auto &e : c.entries())
+        has_fp16 |= e.name.find("fp16") != std::string::npos;
+    EXPECT_TRUE(has_fp16);
+}
+
+TEST(Catalog, MetaHasManyReductionKernels)
+{
+    dg::SoftwareSignature meta;
+    meta.developer = dg::Developer::Meta;
+    const dg::KernelCatalog cm(meta);
+    const dg::KernelCatalog ch(pytorchSig());
+    EXPECT_GT(cm.entriesOfClass(dg::KernelClass::Reduction).size(),
+              ch.entriesOfClass(dg::KernelClass::Reduction).size());
+}
+
+TEST(TraceGenerator, EncoderRepetitionMatchesLayerCount)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const dg::KernelTrace trace = gen.generate(bertBase(), 1);
+    // Encoder records should form exactly numLayers groups of the
+    // template size.
+    const auto enc = trace.encoderRecords();
+    EXPECT_EQ(enc.size(), 12 * gen.groupSize());
+    std::set<int> layer_ids;
+    for (const auto &r : enc)
+        layer_ids.insert(r.layerIndex);
+    EXPECT_EQ(layer_ids.size(), 12u);
+}
+
+TEST(TraceGenerator, TimestampsMonotone)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const dg::KernelTrace trace = gen.generate(bertBase(), 2);
+    double prev_end = 0.0;
+    for (const auto &r : trace.records) {
+        EXPECT_GE(r.tStart, prev_end);
+        EXPECT_GT(r.tEnd, r.tStart);
+        prev_end = r.tEnd;
+    }
+}
+
+TEST(TraceGenerator, SameSeedSameTrace)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto a = gen.generate(bertBase(), 7);
+    const auto b = gen.generate(bertBase(), 7);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].kernelId, b.records[i].kernelId);
+        EXPECT_DOUBLE_EQ(a.records[i].tStart, b.records[i].tStart);
+    }
+}
+
+TEST(TraceGenerator, DifferentRunSeedsJitterOnly)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto a = gen.generate(bertBase(), 1);
+    const auto b = gen.generate(bertBase(), 2);
+    // Same kernel schedule (fingerprint is inherited) ...
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i)
+        EXPECT_EQ(a.records[i].kernelId, b.records[i].kernelId);
+    // ... but different timings.
+    bool timing_differs = false;
+    for (std::size_t i = 0; i < a.records.size(); ++i)
+        timing_differs |= a.records[i].tEnd != b.records[i].tEnd;
+    EXPECT_TRUE(timing_differs);
+}
+
+TEST(TraceGenerator, PeakDurationScalesWithHiddenSize)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto base = gen.generate(bertBase(), 3);
+    const auto large = gen.generate(bertLarge(), 3);
+    // Paper Fig. 10: BERT-large's peak kernel is longer (1024 vs 768
+    // hidden states).
+    EXPECT_GT(large.peakDuration(), 1.3 * base.peakDuration());
+}
+
+TEST(TraceGenerator, TensorFlowRunsManyMoreKernels)
+{
+    const dg::TraceGenerator pt(pytorchSig());
+    const dg::TraceGenerator tf(tfSig());
+    const auto a = pt.generate(bertBase(), 4);
+    const auto b = tf.generate(bertBase(), 4);
+    EXPECT_GT(b.records.size(), 3 * a.records.size());
+    EXPECT_GT(b.uniqueKernelCount(), 4 * a.uniqueKernelCount());
+}
+
+TEST(TraceGenerator, XlaInsertsIrregularRegion)
+{
+    const dg::TraceGenerator gen(tfSig(true));
+    const auto trace = gen.generate(bertLarge(), 5);
+    std::size_t xla_records = 0;
+    for (const auto &r : trace.records)
+        xla_records += r.phase == dg::Phase::XlaRegion ? 1 : 0;
+    EXPECT_GT(xla_records, 10u);
+    // The burst sits strictly inside the encoder region.
+    std::size_t first_enc = trace.records.size(), first_xla = 0,
+                last_enc = 0;
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        if (trace.records[i].phase == dg::Phase::Encoder) {
+            first_enc = std::min(first_enc, i);
+            last_enc = i;
+        } else if (trace.records[i].phase == dg::Phase::XlaRegion &&
+                   first_xla == 0) {
+            first_xla = i;
+        }
+    }
+    EXPECT_GT(first_xla, first_enc);
+    EXPECT_LT(first_xla, last_enc);
+}
+
+TEST(TraceGenerator, NoXlaRegionWithoutXla)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto trace = gen.generate(bertBase(), 6);
+    for (const auto &r : trace.records)
+        EXPECT_NE(r.phase, dg::Phase::XlaRegion);
+}
+
+TEST(TraceGenerator, HeadPruningShortensShortKernels)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    dg::ArchParams dense = bertBase();
+    dg::ArchParams pruned = dense;
+    pruned.prunedHeads = 6;
+
+    auto short_mean = [](const dg::KernelTrace &t) {
+        double s = 0.0;
+        std::size_t n = 0;
+        for (const auto &r : t.records) {
+            if (r.klass == dg::KernelClass::Softmax ||
+                r.klass == dg::KernelClass::AttnGemm) {
+                s += r.duration();
+                ++n;
+            }
+        }
+        return s / static_cast<double>(n);
+    };
+    const double d = short_mean(gen.generate(dense, 7));
+    const double p = short_mean(gen.generate(pruned, 7));
+    EXPECT_LT(p, 0.8 * d);
+}
+
+TEST(TraceGenerator, GemmDurationsUnaffectedByPruning)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    dg::ArchParams dense = bertBase();
+    dg::ArchParams pruned = dense;
+    pruned.prunedHeads = 6;
+    const auto a = gen.generate(dense, 8);
+    const auto b = gen.generate(pruned, 8);
+    // FFN GEMMs do not depend on head count: peak (an FFN GEMM)
+    // unchanged.
+    EXPECT_NEAR(a.peakDuration(), b.peakDuration(),
+                0.05 * a.peakDuration());
+}
+
+TEST(TraceGenerator, EpiloguePresent)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto trace = gen.generate(bertBase(), 9);
+    EXPECT_EQ(trace.records.back().phase, dg::Phase::OutputLayer);
+    EXPECT_EQ(trace.records.front().phase, dg::Phase::Prologue);
+}
+
+TEST(KernelTrace, HelperAccessors)
+{
+    dg::KernelTrace t;
+    t.kernelNames = {"a", "b"};
+    t.records.push_back({0, 0.0, 2.0, dg::Phase::Encoder,
+                         dg::KernelClass::Gemm, 0});
+    t.records.push_back({1, 3.0, 4.0, dg::Phase::Encoder,
+                         dg::KernelClass::Softmax, 0});
+    t.records.push_back({0, 5.0, 9.0, dg::Phase::OutputLayer,
+                         dg::KernelClass::Gemm, -1});
+    EXPECT_DOUBLE_EQ(t.totalTime(), 9.0);
+    EXPECT_DOUBLE_EQ(t.peakDuration(), 4.0);
+    EXPECT_EQ(t.uniqueKernelCount(), 2u);
+    EXPECT_EQ(t.encoderRecords().size(), 2u);
+    EXPECT_EQ(t.kernelIdSequence(), (std::vector<int>{0, 1, 0}));
+    EXPECT_EQ(t.durations(), (std::vector<double>{2.0, 1.0, 4.0}));
+}
+
+TEST(Noise, PerturbsRequestedKernelCount)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto trace = gen.generate(bertBase(), 10);
+    const auto noisy = dg::applyTimingNoise(trace, 16, 20.0, 99);
+    ASSERT_EQ(noisy.records.size(), trace.records.size());
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        const double d0 = trace.records[i].duration();
+        const double d1 = noisy.records[i].duration();
+        if (std::abs(d0 - d1) > 1e-9)
+            ++changed;
+    }
+    EXPECT_EQ(changed, 16u);
+}
+
+TEST(Noise, MagnitudeApplied)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto trace = gen.generate(bertBase(), 11);
+    const auto noisy = dg::applyTimingNoise(trace, 8, 20.0, 5);
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        const double delta = std::abs(noisy.records[i].duration() -
+                                      trace.records[i].duration());
+        if (delta > 1e-9) {
+            // Either +/-20us exactly, or clamped at the 0.5us floor.
+            const bool exact = std::abs(delta - 20.0) < 1e-6;
+            const bool clamped =
+                noisy.records[i].duration() == 0.5;
+            EXPECT_TRUE(exact || clamped);
+        }
+    }
+}
+
+TEST(Noise, ZeroKernelsIsIdentity)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto trace = gen.generate(bertBase(), 12);
+    const auto same = dg::applyTimingNoise(trace, 0, 20.0, 5);
+    for (std::size_t i = 0; i < trace.records.size(); ++i)
+        EXPECT_DOUBLE_EQ(same.records[i].tEnd, trace.records[i].tEnd);
+}
+
+TEST(Noise, KeepsTimestampsConsistent)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto trace = gen.generate(bertBase(), 13);
+    const auto noisy = dg::applyTimingNoise(trace, 32, 45.0, 17);
+    double prev_end = 0.0;
+    for (const auto &r : noisy.records) {
+        EXPECT_GE(r.tStart, prev_end - 1e-9);
+        EXPECT_GT(r.tEnd, r.tStart);
+        prev_end = r.tEnd;
+    }
+}
+
+/** Every (framework, developer) pair produces a usable generator. */
+class SignatureSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(SignatureSweep, GeneratesStructuredTrace)
+{
+    const auto [f, d] = GetParam();
+    dg::SoftwareSignature sig;
+    sig.framework = static_cast<dg::Framework>(f);
+    sig.developer = static_cast<dg::Developer>(d);
+    sig.kernelDialect = f * 10 + d;
+    const dg::TraceGenerator gen(sig);
+    dg::ArchParams arch = bertBase();
+    arch.numLayers = 4;
+    const auto trace = gen.generate(arch, 1);
+    EXPECT_EQ(trace.encoderRecords().size(), 4 * gen.groupSize());
+    EXPECT_GT(trace.totalTime(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSources, SignatureSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 1, 2, 3,
+                                                              4, 5)));
