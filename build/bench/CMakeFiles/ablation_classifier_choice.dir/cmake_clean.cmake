@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_classifier_choice.dir/ablation_classifier_choice.cc.o"
+  "CMakeFiles/ablation_classifier_choice.dir/ablation_classifier_choice.cc.o.d"
+  "ablation_classifier_choice"
+  "ablation_classifier_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_classifier_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

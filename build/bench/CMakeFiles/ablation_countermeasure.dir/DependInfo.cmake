@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_countermeasure.cc" "bench/CMakeFiles/ablation_countermeasure.dir/ablation_countermeasure.cc.o" "gcc" "bench/CMakeFiles/ablation_countermeasure.dir/ablation_countermeasure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/decepticon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/decepticon_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/extraction/CMakeFiles/decepticon_extraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/zoo/CMakeFiles/decepticon_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/decepticon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/decepticon_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transformer/CMakeFiles/decepticon_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/decepticon_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/decepticon_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decepticon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dram_channel.dir/ablation_dram_channel.cc.o"
+  "CMakeFiles/ablation_dram_channel.dir/ablation_dram_channel.cc.o.d"
+  "ablation_dram_channel"
+  "ablation_dram_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dram_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extractor_design.dir/ablation_extractor_design.cc.o"
+  "CMakeFiles/ablation_extractor_design.dir/ablation_extractor_design.cc.o.d"
+  "ablation_extractor_design"
+  "ablation_extractor_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extractor_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

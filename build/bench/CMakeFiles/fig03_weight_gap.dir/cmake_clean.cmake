@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_weight_gap.dir/fig03_weight_gap.cc.o"
+  "CMakeFiles/fig03_weight_gap.dir/fig03_weight_gap.cc.o.d"
+  "fig03_weight_gap"
+  "fig03_weight_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_weight_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

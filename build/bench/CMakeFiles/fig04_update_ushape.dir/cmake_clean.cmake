@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_update_ushape.dir/fig04_update_ushape.cc.o"
+  "CMakeFiles/fig04_update_ushape.dir/fig04_update_ushape.cc.o.d"
+  "fig04_update_ushape"
+  "fig04_update_ushape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_update_ushape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

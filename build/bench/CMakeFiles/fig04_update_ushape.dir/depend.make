@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_update_ushape.
+# This may be replaced when dependencies are built.

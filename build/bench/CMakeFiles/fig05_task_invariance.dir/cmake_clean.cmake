@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_task_invariance.dir/fig05_task_invariance.cc.o"
+  "CMakeFiles/fig05_task_invariance.dir/fig05_task_invariance.cc.o.d"
+  "fig05_task_invariance"
+  "fig05_task_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_task_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

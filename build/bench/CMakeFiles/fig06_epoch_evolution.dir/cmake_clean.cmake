@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_epoch_evolution.dir/fig06_epoch_evolution.cc.o"
+  "CMakeFiles/fig06_epoch_evolution.dir/fig06_epoch_evolution.cc.o.d"
+  "fig06_epoch_evolution"
+  "fig06_epoch_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_epoch_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fingerprint_diversity.dir/fig07_fingerprint_diversity.cc.o"
+  "CMakeFiles/fig07_fingerprint_diversity.dir/fig07_fingerprint_diversity.cc.o.d"
+  "fig07_fingerprint_diversity"
+  "fig07_fingerprint_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fingerprint_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

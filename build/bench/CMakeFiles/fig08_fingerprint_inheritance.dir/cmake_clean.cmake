@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fingerprint_inheritance.dir/fig08_fingerprint_inheritance.cc.o"
+  "CMakeFiles/fig08_fingerprint_inheritance.dir/fig08_fingerprint_inheritance.cc.o.d"
+  "fig08_fingerprint_inheritance"
+  "fig08_fingerprint_inheritance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fingerprint_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

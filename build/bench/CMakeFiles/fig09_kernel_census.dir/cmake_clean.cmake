@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_kernel_census.dir/fig09_kernel_census.cc.o"
+  "CMakeFiles/fig09_kernel_census.dir/fig09_kernel_census.cc.o.d"
+  "fig09_kernel_census"
+  "fig09_kernel_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_kernel_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_layer_boundary.dir/fig10_layer_boundary.cc.o"
+  "CMakeFiles/fig10_layer_boundary.dir/fig10_layer_boundary.cc.o.d"
+  "fig10_layer_boundary"
+  "fig10_layer_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_layer_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

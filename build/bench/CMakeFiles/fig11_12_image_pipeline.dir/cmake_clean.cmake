@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_image_pipeline.dir/fig11_12_image_pipeline.cc.o"
+  "CMakeFiles/fig11_12_image_pipeline.dir/fig11_12_image_pipeline.cc.o.d"
+  "fig11_12_image_pipeline"
+  "fig11_12_image_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_image_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_selective_example.dir/fig13_selective_example.cc.o"
+  "CMakeFiles/fig13_selective_example.dir/fig13_selective_example.cc.o.d"
+  "fig13_selective_example"
+  "fig13_selective_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_selective_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

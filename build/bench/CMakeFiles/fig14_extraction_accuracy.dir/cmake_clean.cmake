@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_extraction_accuracy.dir/fig14_extraction_accuracy.cc.o"
+  "CMakeFiles/fig14_extraction_accuracy.dir/fig14_extraction_accuracy.cc.o.d"
+  "fig14_extraction_accuracy"
+  "fig14_extraction_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_extraction_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_clone_accuracy.dir/fig15_clone_accuracy.cc.o"
+  "CMakeFiles/fig15_clone_accuracy.dir/fig15_clone_accuracy.cc.o.d"
+  "fig15_clone_accuracy"
+  "fig15_clone_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_clone_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_extraction_efficiency.dir/fig16_extraction_efficiency.cc.o"
+  "CMakeFiles/fig16_extraction_efficiency.dir/fig16_extraction_efficiency.cc.o.d"
+  "fig16_extraction_efficiency"
+  "fig16_extraction_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_extraction_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

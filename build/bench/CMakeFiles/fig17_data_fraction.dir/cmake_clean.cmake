@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_data_fraction.dir/fig17_data_fraction.cc.o"
+  "CMakeFiles/fig17_data_fraction.dir/fig17_data_fraction.cc.o.d"
+  "fig17_data_fraction"
+  "fig17_data_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_data_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_adversarial.dir/fig18_adversarial.cc.o"
+  "CMakeFiles/fig18_adversarial.dir/fig18_adversarial.cc.o.d"
+  "fig18_adversarial"
+  "fig18_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_cnn_generalization.dir/fig19_cnn_generalization.cc.o"
+  "CMakeFiles/fig19_cnn_generalization.dir/fig19_cnn_generalization.cc.o.d"
+  "fig19_cnn_generalization"
+  "fig19_cnn_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_cnn_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_head_confidence.dir/fig20_head_confidence.cc.o"
+  "CMakeFiles/fig20_head_confidence.dir/fig20_head_confidence.cc.o.d"
+  "fig20_head_confidence"
+  "fig20_head_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_head_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

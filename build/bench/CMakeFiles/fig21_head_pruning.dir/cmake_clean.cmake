@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_head_pruning.dir/fig21_head_pruning.cc.o"
+  "CMakeFiles/fig21_head_pruning.dir/fig21_head_pruning.cc.o.d"
+  "fig21_head_pruning"
+  "fig21_head_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_head_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_layer_freeze.dir/table1_layer_freeze.cc.o"
+  "CMakeFiles/table1_layer_freeze.dir/table1_layer_freeze.cc.o.d"
+  "table1_layer_freeze"
+  "table1_layer_freeze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_layer_freeze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_deepsniffer_ler.dir/table2_deepsniffer_ler.cc.o"
+  "CMakeFiles/table2_deepsniffer_ler.dir/table2_deepsniffer_ler.cc.o.d"
+  "table2_deepsniffer_ler"
+  "table2_deepsniffer_ler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_deepsniffer_ler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clone_and_attack.dir/clone_and_attack.cpp.o"
+  "CMakeFiles/clone_and_attack.dir/clone_and_attack.cpp.o.d"
+  "clone_and_attack"
+  "clone_and_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clone_and_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

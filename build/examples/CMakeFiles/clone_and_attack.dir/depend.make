@@ -1,0 +1,2 @@
+# Empty dependencies file for clone_and_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defended_victim.dir/defended_victim.cpp.o"
+  "CMakeFiles/defended_victim.dir/defended_victim.cpp.o.d"
+  "defended_victim"
+  "defended_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defended_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for defended_victim.
+# This may be replaced when dependencies are built.

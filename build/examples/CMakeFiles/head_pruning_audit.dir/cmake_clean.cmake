@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_pruning_audit.dir/head_pruning_audit.cpp.o"
+  "CMakeFiles/head_pruning_audit.dir/head_pruning_audit.cpp.o.d"
+  "head_pruning_audit"
+  "head_pruning_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_pruning_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

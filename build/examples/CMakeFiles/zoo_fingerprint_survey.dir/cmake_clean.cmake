@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_fingerprint_survey.dir/zoo_fingerprint_survey.cpp.o"
+  "CMakeFiles/zoo_fingerprint_survey.dir/zoo_fingerprint_survey.cpp.o.d"
+  "zoo_fingerprint_survey"
+  "zoo_fingerprint_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_fingerprint_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_attack.dir/adversarial.cc.o"
+  "CMakeFiles/decepticon_attack.dir/adversarial.cc.o.d"
+  "CMakeFiles/decepticon_attack.dir/head_pruning.cc.o"
+  "CMakeFiles/decepticon_attack.dir/head_pruning.cc.o.d"
+  "CMakeFiles/decepticon_attack.dir/substitute.cc.o"
+  "CMakeFiles/decepticon_attack.dir/substitute.cc.o.d"
+  "libdecepticon_attack.a"
+  "libdecepticon_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

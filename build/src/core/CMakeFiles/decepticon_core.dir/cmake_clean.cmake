@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_core.dir/decepticon.cc.o"
+  "CMakeFiles/decepticon_core.dir/decepticon.cc.o.d"
+  "CMakeFiles/decepticon_core.dir/two_level.cc.o"
+  "CMakeFiles/decepticon_core.dir/two_level.cc.o.d"
+  "libdecepticon_core.a"
+  "libdecepticon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

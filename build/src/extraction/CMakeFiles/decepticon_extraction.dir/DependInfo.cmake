@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extraction/bitprobe.cc" "src/extraction/CMakeFiles/decepticon_extraction.dir/bitprobe.cc.o" "gcc" "src/extraction/CMakeFiles/decepticon_extraction.dir/bitprobe.cc.o.d"
+  "/root/repo/src/extraction/cloner.cc" "src/extraction/CMakeFiles/decepticon_extraction.dir/cloner.cc.o" "gcc" "src/extraction/CMakeFiles/decepticon_extraction.dir/cloner.cc.o.d"
+  "/root/repo/src/extraction/dram.cc" "src/extraction/CMakeFiles/decepticon_extraction.dir/dram.cc.o" "gcc" "src/extraction/CMakeFiles/decepticon_extraction.dir/dram.cc.o.d"
+  "/root/repo/src/extraction/ieee.cc" "src/extraction/CMakeFiles/decepticon_extraction.dir/ieee.cc.o" "gcc" "src/extraction/CMakeFiles/decepticon_extraction.dir/ieee.cc.o.d"
+  "/root/repo/src/extraction/selective.cc" "src/extraction/CMakeFiles/decepticon_extraction.dir/selective.cc.o" "gcc" "src/extraction/CMakeFiles/decepticon_extraction.dir/selective.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zoo/CMakeFiles/decepticon_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/transformer/CMakeFiles/decepticon_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decepticon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/decepticon_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/decepticon_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/decepticon_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

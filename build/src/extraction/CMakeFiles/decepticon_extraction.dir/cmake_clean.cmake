@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_extraction.dir/bitprobe.cc.o"
+  "CMakeFiles/decepticon_extraction.dir/bitprobe.cc.o.d"
+  "CMakeFiles/decepticon_extraction.dir/cloner.cc.o"
+  "CMakeFiles/decepticon_extraction.dir/cloner.cc.o.d"
+  "CMakeFiles/decepticon_extraction.dir/dram.cc.o"
+  "CMakeFiles/decepticon_extraction.dir/dram.cc.o.d"
+  "CMakeFiles/decepticon_extraction.dir/ieee.cc.o"
+  "CMakeFiles/decepticon_extraction.dir/ieee.cc.o.d"
+  "CMakeFiles/decepticon_extraction.dir/selective.cc.o"
+  "CMakeFiles/decepticon_extraction.dir/selective.cc.o.d"
+  "libdecepticon_extraction.a"
+  "libdecepticon_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

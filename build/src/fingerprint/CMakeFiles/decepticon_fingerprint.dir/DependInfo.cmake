@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/boundary.cc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/boundary.cc.o" "gcc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/boundary.cc.o.d"
+  "/root/repo/src/fingerprint/cnn.cc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/cnn.cc.o" "gcc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/cnn.cc.o.d"
+  "/root/repo/src/fingerprint/dataset.cc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/dataset.cc.o" "gcc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/dataset.cc.o.d"
+  "/root/repo/src/fingerprint/knn.cc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/knn.cc.o" "gcc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/knn.cc.o.d"
+  "/root/repo/src/fingerprint/metrics.cc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/metrics.cc.o" "gcc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/metrics.cc.o.d"
+  "/root/repo/src/fingerprint/seq_predictor.cc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/seq_predictor.cc.o" "gcc" "src/fingerprint/CMakeFiles/decepticon_fingerprint.dir/seq_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zoo/CMakeFiles/decepticon_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/decepticon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/decepticon_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/decepticon_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/decepticon_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decepticon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_fingerprint.dir/boundary.cc.o"
+  "CMakeFiles/decepticon_fingerprint.dir/boundary.cc.o.d"
+  "CMakeFiles/decepticon_fingerprint.dir/cnn.cc.o"
+  "CMakeFiles/decepticon_fingerprint.dir/cnn.cc.o.d"
+  "CMakeFiles/decepticon_fingerprint.dir/dataset.cc.o"
+  "CMakeFiles/decepticon_fingerprint.dir/dataset.cc.o.d"
+  "CMakeFiles/decepticon_fingerprint.dir/knn.cc.o"
+  "CMakeFiles/decepticon_fingerprint.dir/knn.cc.o.d"
+  "CMakeFiles/decepticon_fingerprint.dir/metrics.cc.o"
+  "CMakeFiles/decepticon_fingerprint.dir/metrics.cc.o.d"
+  "CMakeFiles/decepticon_fingerprint.dir/seq_predictor.cc.o"
+  "CMakeFiles/decepticon_fingerprint.dir/seq_predictor.cc.o.d"
+  "libdecepticon_fingerprint.a"
+  "libdecepticon_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

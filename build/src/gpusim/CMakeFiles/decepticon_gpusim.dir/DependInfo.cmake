@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/catalog.cc" "src/gpusim/CMakeFiles/decepticon_gpusim.dir/catalog.cc.o" "gcc" "src/gpusim/CMakeFiles/decepticon_gpusim.dir/catalog.cc.o.d"
+  "/root/repo/src/gpusim/kernel.cc" "src/gpusim/CMakeFiles/decepticon_gpusim.dir/kernel.cc.o" "gcc" "src/gpusim/CMakeFiles/decepticon_gpusim.dir/kernel.cc.o.d"
+  "/root/repo/src/gpusim/noise.cc" "src/gpusim/CMakeFiles/decepticon_gpusim.dir/noise.cc.o" "gcc" "src/gpusim/CMakeFiles/decepticon_gpusim.dir/noise.cc.o.d"
+  "/root/repo/src/gpusim/signature.cc" "src/gpusim/CMakeFiles/decepticon_gpusim.dir/signature.cc.o" "gcc" "src/gpusim/CMakeFiles/decepticon_gpusim.dir/signature.cc.o.d"
+  "/root/repo/src/gpusim/trace_generator.cc" "src/gpusim/CMakeFiles/decepticon_gpusim.dir/trace_generator.cc.o" "gcc" "src/gpusim/CMakeFiles/decepticon_gpusim.dir/trace_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/decepticon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

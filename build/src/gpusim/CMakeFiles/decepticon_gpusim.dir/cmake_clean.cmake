@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_gpusim.dir/catalog.cc.o"
+  "CMakeFiles/decepticon_gpusim.dir/catalog.cc.o.d"
+  "CMakeFiles/decepticon_gpusim.dir/kernel.cc.o"
+  "CMakeFiles/decepticon_gpusim.dir/kernel.cc.o.d"
+  "CMakeFiles/decepticon_gpusim.dir/noise.cc.o"
+  "CMakeFiles/decepticon_gpusim.dir/noise.cc.o.d"
+  "CMakeFiles/decepticon_gpusim.dir/signature.cc.o"
+  "CMakeFiles/decepticon_gpusim.dir/signature.cc.o.d"
+  "CMakeFiles/decepticon_gpusim.dir/trace_generator.cc.o"
+  "CMakeFiles/decepticon_gpusim.dir/trace_generator.cc.o.d"
+  "libdecepticon_gpusim.a"
+  "libdecepticon_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

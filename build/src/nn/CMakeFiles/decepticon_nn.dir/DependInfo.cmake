@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/decepticon_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/decepticon_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/decepticon_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/decepticon_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/decepticon_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/decepticon_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/layernorm.cc" "src/nn/CMakeFiles/decepticon_nn.dir/layernorm.cc.o" "gcc" "src/nn/CMakeFiles/decepticon_nn.dir/layernorm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/decepticon_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/decepticon_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/decepticon_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/decepticon_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/decepticon_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/decepticon_nn.dir/optim.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/decepticon_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/decepticon_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/decepticon_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decepticon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_nn.dir/activations.cc.o"
+  "CMakeFiles/decepticon_nn.dir/activations.cc.o.d"
+  "CMakeFiles/decepticon_nn.dir/conv.cc.o"
+  "CMakeFiles/decepticon_nn.dir/conv.cc.o.d"
+  "CMakeFiles/decepticon_nn.dir/embedding.cc.o"
+  "CMakeFiles/decepticon_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/decepticon_nn.dir/layernorm.cc.o"
+  "CMakeFiles/decepticon_nn.dir/layernorm.cc.o.d"
+  "CMakeFiles/decepticon_nn.dir/linear.cc.o"
+  "CMakeFiles/decepticon_nn.dir/linear.cc.o.d"
+  "CMakeFiles/decepticon_nn.dir/loss.cc.o"
+  "CMakeFiles/decepticon_nn.dir/loss.cc.o.d"
+  "CMakeFiles/decepticon_nn.dir/optim.cc.o"
+  "CMakeFiles/decepticon_nn.dir/optim.cc.o.d"
+  "CMakeFiles/decepticon_nn.dir/serialize.cc.o"
+  "CMakeFiles/decepticon_nn.dir/serialize.cc.o.d"
+  "libdecepticon_nn.a"
+  "libdecepticon_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_tensor.dir/tensor.cc.o"
+  "CMakeFiles/decepticon_tensor.dir/tensor.cc.o.d"
+  "libdecepticon_tensor.a"
+  "libdecepticon_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

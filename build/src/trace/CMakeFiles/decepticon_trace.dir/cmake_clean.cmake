@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_trace.dir/image.cc.o"
+  "CMakeFiles/decepticon_trace.dir/image.cc.o.d"
+  "libdecepticon_trace.a"
+  "libdecepticon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

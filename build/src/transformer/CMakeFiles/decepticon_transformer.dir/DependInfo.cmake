@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transformer/classifier.cc" "src/transformer/CMakeFiles/decepticon_transformer.dir/classifier.cc.o" "gcc" "src/transformer/CMakeFiles/decepticon_transformer.dir/classifier.cc.o.d"
+  "/root/repo/src/transformer/confidence.cc" "src/transformer/CMakeFiles/decepticon_transformer.dir/confidence.cc.o" "gcc" "src/transformer/CMakeFiles/decepticon_transformer.dir/confidence.cc.o.d"
+  "/root/repo/src/transformer/encoder.cc" "src/transformer/CMakeFiles/decepticon_transformer.dir/encoder.cc.o" "gcc" "src/transformer/CMakeFiles/decepticon_transformer.dir/encoder.cc.o.d"
+  "/root/repo/src/transformer/task.cc" "src/transformer/CMakeFiles/decepticon_transformer.dir/task.cc.o" "gcc" "src/transformer/CMakeFiles/decepticon_transformer.dir/task.cc.o.d"
+  "/root/repo/src/transformer/trainer.cc" "src/transformer/CMakeFiles/decepticon_transformer.dir/trainer.cc.o" "gcc" "src/transformer/CMakeFiles/decepticon_transformer.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/decepticon_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/decepticon_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decepticon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_transformer.dir/classifier.cc.o"
+  "CMakeFiles/decepticon_transformer.dir/classifier.cc.o.d"
+  "CMakeFiles/decepticon_transformer.dir/confidence.cc.o"
+  "CMakeFiles/decepticon_transformer.dir/confidence.cc.o.d"
+  "CMakeFiles/decepticon_transformer.dir/encoder.cc.o"
+  "CMakeFiles/decepticon_transformer.dir/encoder.cc.o.d"
+  "CMakeFiles/decepticon_transformer.dir/task.cc.o"
+  "CMakeFiles/decepticon_transformer.dir/task.cc.o.d"
+  "CMakeFiles/decepticon_transformer.dir/trainer.cc.o"
+  "CMakeFiles/decepticon_transformer.dir/trainer.cc.o.d"
+  "libdecepticon_transformer.a"
+  "libdecepticon_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_util.dir/edit_distance.cc.o"
+  "CMakeFiles/decepticon_util.dir/edit_distance.cc.o.d"
+  "CMakeFiles/decepticon_util.dir/rng.cc.o"
+  "CMakeFiles/decepticon_util.dir/rng.cc.o.d"
+  "CMakeFiles/decepticon_util.dir/stats.cc.o"
+  "CMakeFiles/decepticon_util.dir/stats.cc.o.d"
+  "CMakeFiles/decepticon_util.dir/table.cc.o"
+  "CMakeFiles/decepticon_util.dir/table.cc.o.d"
+  "libdecepticon_util.a"
+  "libdecepticon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zoo/finetune_sim.cc" "src/zoo/CMakeFiles/decepticon_zoo.dir/finetune_sim.cc.o" "gcc" "src/zoo/CMakeFiles/decepticon_zoo.dir/finetune_sim.cc.o.d"
+  "/root/repo/src/zoo/vocab.cc" "src/zoo/CMakeFiles/decepticon_zoo.dir/vocab.cc.o" "gcc" "src/zoo/CMakeFiles/decepticon_zoo.dir/vocab.cc.o.d"
+  "/root/repo/src/zoo/weight_store.cc" "src/zoo/CMakeFiles/decepticon_zoo.dir/weight_store.cc.o" "gcc" "src/zoo/CMakeFiles/decepticon_zoo.dir/weight_store.cc.o.d"
+  "/root/repo/src/zoo/zoo.cc" "src/zoo/CMakeFiles/decepticon_zoo.dir/zoo.cc.o" "gcc" "src/zoo/CMakeFiles/decepticon_zoo.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/decepticon_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decepticon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

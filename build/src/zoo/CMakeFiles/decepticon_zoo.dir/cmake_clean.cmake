@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decepticon_zoo.dir/finetune_sim.cc.o"
+  "CMakeFiles/decepticon_zoo.dir/finetune_sim.cc.o.d"
+  "CMakeFiles/decepticon_zoo.dir/vocab.cc.o"
+  "CMakeFiles/decepticon_zoo.dir/vocab.cc.o.d"
+  "CMakeFiles/decepticon_zoo.dir/weight_store.cc.o"
+  "CMakeFiles/decepticon_zoo.dir/weight_store.cc.o.d"
+  "CMakeFiles/decepticon_zoo.dir/zoo.cc.o"
+  "CMakeFiles/decepticon_zoo.dir/zoo.cc.o.d"
+  "libdecepticon_zoo.a"
+  "libdecepticon_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decepticon_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_property_test.dir/selective_property_test.cc.o"
+  "CMakeFiles/selective_property_test.dir/selective_property_test.cc.o.d"
+  "selective_property_test"
+  "selective_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
