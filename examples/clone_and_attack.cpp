@@ -115,6 +115,61 @@ main()
                       "power");
     t.printAscii(std::cout);
 
+    // Unreliable channel: DeepSteal-style probe faults on a partially
+    // hammerable DRAM, with the resilient prober (voting + retries +
+    // baseline fallback) in front of the channel.
+    {
+        extraction::ClonerOptions copts;
+        copts.policy.maxBitsPerWeight = 4;
+        copts.policy.baseDist = 0.015;
+        copts.policy.significance = 0.0001;
+        copts.agreementTarget = 1.1;
+        extraction::DramGeometry geom;
+        geom.hammerableRowFraction = 0.85; // realistic aggressor reach
+        copts.dramGeometry = geom;
+        copts.dramSeed = 9;
+        fault::FaultSpec fspec;
+        fspec.probeFlipRate = 1e-3;
+        fspec.transientFailureRate = 0.01;
+        fspec.stuckBitRate = 1e-4;
+        fspec.seed = 2026;
+        copts.faultSpec = fspec;
+        copts.resilience = extraction::ResilienceOptions{};
+        auto result = extraction::ModelCloner::extract(
+            victim, pretrained, query, copts);
+
+        std::vector<int> clone_preds;
+        for (const auto &ex : dev.examples)
+            clone_preds.push_back(result.clone->predict(ex.tokens));
+        const double agreement =
+            transformer::Trainer::agreement(clone_preds, victim_preds);
+
+        const auto &es = result.extractionStats;
+        util::printBanner(std::cout,
+                          "Unreliable channel (15% rows unreachable, "
+                          "noisy probes)");
+        std::cout << "clone agreement          " << agreement << "\n"
+                  << "unreadable weights       " << es.unreadableWeights
+                  << "\nbaseline fallbacks       "
+                  << es.baselineFallbackWeights
+                  << "\nexhausted bits           " << es.exhaustedBits
+                  << "\nread amplification       "
+                  << result.reliability.amplification() << "x\n"
+                  << "injected flips/failures  "
+                  << result.faultCounters.bitFlips << "/"
+                  << result.faultCounters.probeFailures << "\n";
+
+        // Graceful degradation contract: every weight the channel
+        // cannot reach is resolved from the pre-trained baseline,
+        // never silently dropped.
+        if (es.unreadableWeights == 0 ||
+            es.baselineFallbackWeights < es.unreadableWeights) {
+            std::cout << "FAIL: unreadable weights not resolved via "
+                         "baseline fallback\n";
+            return 1;
+        }
+    }
+
     // Quantization note (Sec. 8): the checked fraction bits survive a
     // bfloat16 round trip because bfloat16 keeps float32's exponent.
     const float w = 0.018f;

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "gpusim/trace_generator.hh"
+#include "trace/repair.hh"
+#include "util/rng.hh"
+
 namespace decepticon::core {
 
 Decepticon::Decepticon(const DecepticonOptions &opts)
@@ -32,6 +36,29 @@ Decepticon::trainExtractor(const zoo::ModelZoo &candidate_pool)
     cnn_ = std::make_unique<fingerprint::FingerprintCnn>(
         dataset.resolution, dataset.numClasses(), opts_.seed ^ 0xc44ULL);
     cnn_->train(train, opts_.cnnOptions);
+
+    // Degradation tier 2: the kNN template matcher shares the CNN's
+    // training images, so falling back never needs extra profiling.
+    knn_.train(train);
+
+    // Degradation tier 3: one kernel-sequence predictor per lineage,
+    // trained on profiled traces of that lineage's zoo models. A
+    // victim trace is then attributed to the lineage whose predictor
+    // decodes it with the lowest layer error rate.
+    seqPredictors_.assign(classNames_.size(),
+                          fingerprint::KernelSequencePredictor{});
+    util::Rng trace_rng(opts_.seed ^ 0x5e9ULL);
+    for (std::size_t c = 0; c < classNames_.size(); ++c) {
+        std::vector<gpusim::KernelTrace> traces;
+        for (const auto &model : candidate_pool.models()) {
+            if (model.pretrainedName != classNames_[c])
+                continue;
+            const gpusim::TraceGenerator gen(model.signature);
+            traces.push_back(gen.generate(model.arch, trace_rng.nextU64()));
+            traces.push_back(gen.generate(model.arch, trace_rng.nextU64()));
+        }
+        seqPredictors_[c].train(traces);
+    }
     return cnn_->evaluate(test);
 }
 
@@ -83,6 +110,90 @@ Decepticon::identify(const gpusim::KernelTrace &victim_trace,
     } else {
         result.pretrainedName = classNames_[static_cast<std::size_t>(top[0])];
     }
+    return result;
+}
+
+IdentificationResult
+Decepticon::identifyResilient(
+    const std::vector<gpusim::KernelTrace> &captures,
+    const ResilientIdentifyOptions &ropts,
+    const std::function<std::vector<bool>()> &query_victim)
+{
+    assert(cnn_ && "trainExtractor must run first");
+    assert(!captures.empty());
+
+    trace::RepairReport report;
+    const gpusim::KernelTrace repaired =
+        trace::repairTraces(captures, &report);
+
+    // The consensus trace goes through the full single-trace path
+    // (top-k, ambiguity handling, query probing).
+    IdentificationResult result = identify(repaired, query_victim);
+    result.capturesUsed = captures.size();
+
+    auto image_of = [&](const gpusim::KernelTrace &t) {
+        return fingerprint::fingerprintImage(
+            t, cnn_->resolution(), opts_.datasetOptions.cropIrregular);
+    };
+    auto plurality = [&](const std::vector<std::size_t> &votes,
+                         double &share) {
+        const auto it = std::max_element(votes.begin(), votes.end());
+        std::size_t total = 0;
+        for (std::size_t v : votes)
+            total += v;
+        share = static_cast<double>(*it) / static_cast<double>(total);
+        return static_cast<std::size_t>(it - votes.begin());
+    };
+
+    // CNN quorum: the consensus trace and every raw capture each cast
+    // one vote, so a single badly-mangled capture cannot swing the
+    // answer the way it could swing a single classification.
+    std::vector<std::size_t> cnn_votes(classNames_.size(), 0);
+    ++cnn_votes[static_cast<std::size_t>(cnn_->topK(
+        image_of(repaired), 1)[0])];
+    for (const auto &cap : captures)
+        ++cnn_votes[static_cast<std::size_t>(cnn_->topK(
+            image_of(cap), 1)[0])];
+    double cnn_share = 0.0;
+    const std::size_t cnn_winner = plurality(cnn_votes, cnn_share);
+    result.quorumAgreement = cnn_share;
+
+    if (result.topProbability >= ropts.cnnConfidenceThreshold &&
+        cnn_share >= ropts.quorumThreshold) {
+        // Confident CNN: adopt the quorum winner unless query probes
+        // already disambiguated (stronger, input-dependent evidence).
+        if (!result.usedQueryProbes)
+            result.pretrainedName = classNames_[cnn_winner];
+        return result;
+    }
+
+    // Tier 2: kNN template quorum over the same images.
+    result.usedKnnFallback = true;
+    std::vector<std::size_t> knn_votes(classNames_.size(), 0);
+    ++knn_votes[static_cast<std::size_t>(knn_.predict(image_of(repaired)))];
+    for (const auto &cap : captures)
+        ++knn_votes[static_cast<std::size_t>(knn_.predict(image_of(cap)))];
+    double knn_share = 0.0;
+    const std::size_t knn_winner = plurality(knn_votes, knn_share);
+    if (knn_share >= ropts.quorumThreshold) {
+        result.pretrainedName = classNames_[knn_winner];
+        result.quorumAgreement = knn_share;
+        return result;
+    }
+
+    // Tier 3: attribute the consensus trace to the lineage whose
+    // sequence predictor decodes it with the lowest layer error rate.
+    result.usedSeqFallback = true;
+    std::size_t best = 0;
+    double best_ler = seqPredictors_[0].layerErrorRate(repaired);
+    for (std::size_t c = 1; c < seqPredictors_.size(); ++c) {
+        const double ler = seqPredictors_[c].layerErrorRate(repaired);
+        if (ler < best_ler) {
+            best_ler = ler;
+            best = c;
+        }
+    }
+    result.pretrainedName = classNames_[best];
     return result;
 }
 

@@ -20,6 +20,8 @@
 
 #include "fingerprint/cnn.hh"
 #include "fingerprint/dataset.hh"
+#include "fingerprint/knn.hh"
+#include "fingerprint/seq_predictor.hh"
 #include "gpusim/kernel.hh"
 #include "zoo/vocab.hh"
 #include "zoo/zoo.hh"
@@ -41,6 +43,20 @@ struct DecepticonOptions
     std::uint64_t seed = 1;
 };
 
+/**
+ * Knobs for the unreliable-channel identification path: how confident
+ * the CNN must be on the repaired consensus trace, and how unanimous
+ * the per-capture quorum must be, before the degradation chain
+ * (kNN templates, then sequence-predictor LER matching) takes over.
+ */
+struct ResilientIdentifyOptions
+{
+    /** Minimum CNN top-1 probability on the repaired trace. */
+    double cnnConfidenceThreshold = 0.45;
+    /** Minimum fraction of quorum votes behind the winning lineage. */
+    double quorumThreshold = 0.5;
+};
+
 /** Level-1 output. */
 struct IdentificationResult
 {
@@ -48,6 +64,13 @@ struct IdentificationResult
     double topProbability = 0.0;
     std::vector<std::string> candidates; ///< CNN top-k, descending
     bool usedQueryProbes = false;
+    // --- identifyResilient() accounting (defaults for identify()) ---
+    /** Noisy captures consumed (1 for the single-trace path). */
+    std::size_t capturesUsed = 1;
+    /** Fraction of CNN quorum votes behind the chosen lineage. */
+    double quorumAgreement = 1.0;
+    bool usedKnnFallback = false; ///< CNN confidence/quorum failed
+    bool usedSeqFallback = false; ///< kNN quorum failed too
 };
 
 /**
@@ -78,6 +101,21 @@ class Decepticon
         const gpusim::KernelTrace &victim_trace,
         const std::function<std::vector<bool>()> &query_victim = {}) ;
 
+    /**
+     * Identify from R noisy captures of the same inference (dropped /
+     * duplicated / truncated records). The captures are repaired into
+     * one consensus trace; the CNN classifies the consensus and every
+     * capture (a quorum vote). When the CNN is unconfident or the
+     * quorum splits, identification degrades gracefully: first to the
+     * kNN template classifier, then to per-lineage kernel-sequence
+     * predictors (argmin layer error rate) — each strictly weaker but
+     * harder to starve than the last.
+     */
+    IdentificationResult identifyResilient(
+        const std::vector<gpusim::KernelTrace> &captures,
+        const ResilientIdentifyOptions &ropts = {},
+        const std::function<std::vector<bool>()> &query_victim = {});
+
     /** The trained CNN (valid after trainExtractor). */
     fingerprint::FingerprintCnn &cnn() { return *cnn_; }
 
@@ -93,6 +131,10 @@ class Decepticon
     std::vector<std::string> classNames_;
     std::vector<zoo::VocabularyProfile> classProfiles_;
     std::vector<zoo::QueryProbe> probes_;
+    /** Degradation tier 2: template matcher over the same images. */
+    fingerprint::NearestNeighborClassifier knn_{3};
+    /** Degradation tier 3: one sequence predictor per lineage. */
+    std::vector<fingerprint::KernelSequencePredictor> seqPredictors_;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "extraction/ieee.hh"
+#include "fault/fault.hh"
 
 namespace decepticon::extraction {
 
@@ -59,11 +60,27 @@ BitProbeChannel::charge(std::size_t rounds)
     stats_.hammerRounds += rounds;
 }
 
-bool
-BitProbeChannel::readBit(std::size_t layer, std::size_t index, int word_bit)
+ProbeAttempt
+BitProbeChannel::attemptBit(std::size_t layer, std::size_t index,
+                            int word_bit)
+{
+    ProbeAttempt attempt;
+    attempt.bit = rawBit(layer, index, word_bit);
+    if (injector_ != nullptr) {
+        const fault::ProbeFaultOutcome faulty =
+            injector_->perturbProbe(layer, index, word_bit, attempt.bit);
+        attempt.ok = faulty.ok;
+        attempt.bit = faulty.bit;
+    }
+    return attempt;
+}
+
+ProbeAttempt
+BitProbeChannel::tryReadBit(std::size_t layer, std::size_t index,
+                            int word_bit)
 {
     charge(roundsPerBit_);
-    return rawBit(layer, index, word_bit);
+    return attemptBit(layer, index, word_bit);
 }
 
 float

@@ -20,6 +20,10 @@
 #include "util/rng.hh"
 #include "zoo/weight_store.hh"
 
+namespace decepticon::fault {
+class FaultInjector;
+}
+
 namespace decepticon::extraction {
 
 /**
@@ -105,11 +109,25 @@ struct ProbeStats
 };
 
 /**
- * The bit-read side channel. Each readBit() costs roundsPerBit
- * rowhammer rounds and can flip with bitErrorRate probability
- * (hammering is not perfectly reliable). Subclasses may model
+ * Outcome of one probe attempt. A failed attempt (ok == false) spent
+ * its hammer rounds but delivered no information; the bit it carries
+ * is channel garbage, which is what a fault-oblivious attacker
+ * consumes when it ignores the flag.
+ */
+struct ProbeAttempt
+{
+    bool ok = true;
+    bool bit = false;
+};
+
+/**
+ * The bit-read side channel. Each read costs roundsPerBit rowhammer
+ * rounds and can flip with bitErrorRate probability (hammering is not
+ * perfectly reliable). Subclasses override tryReadBit() to model
  * physical constraints (DRAM rows without aggressors, warm-row cost
- * amortization — see dram.hh).
+ * amortization — see dram.hh); an attached fault::FaultInjector adds
+ * the unreliable-channel processes (stuck cells, burst rows,
+ * transient probe failures).
  */
 class BitProbeChannel
 {
@@ -133,15 +151,47 @@ class BitProbeChannel
     }
 
     /**
-     * Read one bit of the victim weight at (layer, index).
+     * One probe attempt on a bit of the victim weight at
+     * (layer, index): charges its rounds and reports whether the
+     * attempt landed. This is the virtual core every channel variant
+     * implements; readBit() and readFullWeight() are sugar over it.
      * @param word_bit bit index in the float32 word, 31 = sign.
      * @pre canRead(layer, index)
      */
-    virtual bool readBit(std::size_t layer, std::size_t index,
-                         int word_bit);
+    virtual ProbeAttempt tryReadBit(std::size_t layer, std::size_t index,
+                                    int word_bit);
+
+    /**
+     * Read one bit, ignoring attempt failures (a fault-oblivious
+     * attacker consumes whatever the channel delivered).
+     */
+    bool
+    readBit(std::size_t layer, std::size_t index, int word_bit)
+    {
+        return tryReadBit(layer, index, word_bit).bit;
+    }
 
     /** Read all 32 bits of a weight (last-layer full extraction). */
     float readFullWeight(std::size_t layer, std::size_t index);
+
+    /**
+     * Attach an unreliable-channel fault process. The injector is
+     * applied on top of the channel's own bitErrorRate; pass nullptr
+     * to detach. Not owned.
+     */
+    void attachFaultInjector(fault::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    fault::FaultInjector *faultInjector() const { return injector_; }
+
+    /**
+     * Account extra hammer rounds that read no new bit (e.g. the
+     * exponential-backoff penalty a resilient prober pays after
+     * repeated probe failures).
+     */
+    void accrueRounds(std::size_t rounds) { stats_.hammerRounds += rounds; }
 
     const ProbeStats &stats() const { return stats_; }
 
@@ -153,6 +203,13 @@ class BitProbeChannel
     /** Fetch the (possibly error-flipped) bit without cost charging. */
     bool rawBit(std::size_t layer, std::size_t index, int word_bit);
 
+    /**
+     * rawBit passed through the attached fault process (identity when
+     * no injector is attached). Cost is NOT charged here.
+     */
+    ProbeAttempt attemptBit(std::size_t layer, std::size_t index,
+                            int word_bit);
+
     /** Account bitsRead and the given number of hammer rounds. */
     void charge(std::size_t rounds);
 
@@ -162,6 +219,7 @@ class BitProbeChannel
     double bitErrorRate_;
     util::Rng rng_;
     ProbeStats stats_;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace decepticon::extraction

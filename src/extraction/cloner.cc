@@ -85,7 +85,15 @@ ModelCloner::extract(transformer::TransformerClassifier &victim,
     } else {
         channel_holder = std::make_unique<BitProbeChannel>(oracle);
     }
-    BitProbeChannel &channel = *channel_holder;
+    BitProbeChannel &physical = *channel_holder;
+
+    // Unreliable-channel model: faults on the physical channel, an
+    // optional retrying/voting prober in front of it.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (opts.faultSpec) {
+        injector = std::make_unique<fault::FaultInjector>(*opts.faultSpec);
+        physical.attachFaultInjector(injector.get());
+    }
     SelectiveWeightExtractor extractor(opts.policy);
 
     // Clone starts as the pre-trained model with a head of the
@@ -100,6 +108,23 @@ ModelCloner::extract(transformer::TransformerClassifier &victim,
     const std::size_t head_group = num_layers + 1;
 
     auto clone_groups = victimParamGroups(*clone);
+
+    // The graceful-degradation baseline is the clone's pre-extraction
+    // state: the identified pre-trained weights plus the freshly reset
+    // head — snapshot it before extraction mutates the groups.
+    std::unique_ptr<SnapshotOracle> baseline;
+    std::unique_ptr<RetryingProber> prober;
+    if (opts.resilience) {
+        std::vector<std::vector<float>> baseline_groups;
+        baseline_groups.reserve(clone_groups.size());
+        for (const auto &group : clone_groups)
+            baseline_groups.push_back(groupWeights(group));
+        baseline = std::make_unique<SnapshotOracle>(
+            std::move(baseline_groups));
+        prober = std::make_unique<RetryingProber>(
+            physical, *opts.resilience, baseline.get());
+    }
+    BitProbeChannel &channel = prober ? *prober : physical;
 
     // Victim predictions on the query set (black-box API access).
     std::vector<int> victim_preds;
@@ -147,7 +172,17 @@ ModelCloner::extract(transformer::TransformerClassifier &victim,
         result.agreementTrajectory.push_back(agreement_now());
     }
 
-    result.probeStats = channel.stats();
+    // The physical channel carries the cost ledger (the prober charges
+    // every attempt and backoff penalty on it).
+    result.probeStats = physical.stats();
+    if (prober) {
+        result.reliability = prober->reliability();
+        mergeReliability(result.reliability, result.extractionStats);
+    }
+    if (injector) {
+        result.faultCounters = injector->counters();
+        physical.attachFaultInjector(nullptr);
+    }
     result.clone = std::move(clone);
     return result;
 }

@@ -18,7 +18,9 @@
 
 #include "extraction/bitprobe.hh"
 #include "extraction/dram.hh"
+#include "extraction/resilient.hh"
 #include "extraction/selective.hh"
+#include "fault/fault.hh"
 #include "transformer/classifier.hh"
 #include "transformer/task.hh"
 
@@ -39,6 +41,18 @@ struct ClonerOptions
     std::optional<DramGeometry> dramGeometry;
     /** Row-mask seed when dramGeometry is set. */
     std::uint64_t dramSeed = 0;
+    /**
+     * Fault process applied to the bit-probe channel (unset =
+     * perfectly reliable channel). Deterministic per FaultSpec::seed.
+     */
+    std::optional<fault::FaultSpec> faultSpec;
+    /**
+     * Retry/vote/fallback policy wrapped around the channel (unset =
+     * raw, fault-exposed reads — the resilience-disabled baseline).
+     * The fallback baseline is the clone's pre-extraction state: the
+     * identified pre-trained weights plus the freshly reset head.
+     */
+    std::optional<ResilienceOptions> resilience;
 };
 
 /** Outcome of a cloning run. */
@@ -47,6 +61,10 @@ struct CloneResult
     std::unique_ptr<transformer::TransformerClassifier> clone;
     ProbeStats probeStats;
     ExtractionStats extractionStats;
+    /** Retry/vote/fallback accounting (zero without resilience). */
+    ReliabilityStats reliability;
+    /** Ground-truth injected-fault counts (zero without faultSpec). */
+    fault::FaultCounters faultCounters;
     /** Encoder layers actually extracted (from the last backward). */
     std::size_t layersExtracted = 0;
     /** Agreement with the victim after each extraction step. */

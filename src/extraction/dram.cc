@@ -86,9 +86,9 @@ DramBitProbeChannel::canRead(std::size_t layer, std::size_t index) const
     return layout_.hammerable(layer, index);
 }
 
-bool
-DramBitProbeChannel::readBit(std::size_t layer, std::size_t index,
-                             int word_bit)
+ProbeAttempt
+DramBitProbeChannel::tryReadBit(std::size_t layer, std::size_t index,
+                                int word_bit)
 {
     assert(canRead(layer, index));
     const DramAddress addr = layout_.addressOf(layer, index);
@@ -99,7 +99,7 @@ DramBitProbeChannel::readBit(std::size_t layer, std::size_t index,
     hasLastRow_ = true;
     lastBank_ = addr.bank;
     lastRow_ = addr.row;
-    return rawBit(layer, index, word_bit);
+    return attemptBit(layer, index, word_bit);
 }
 
 } // namespace decepticon::extraction

@@ -104,8 +104,8 @@ class DramBitProbeChannel : public BitProbeChannel
 
     bool canRead(std::size_t layer, std::size_t index) const override;
 
-    bool readBit(std::size_t layer, std::size_t index,
-                 int word_bit) override;
+    ProbeAttempt tryReadBit(std::size_t layer, std::size_t index,
+                            int word_bit) override;
 
   private:
     const DramWeightLayout &layout_;

@@ -1,0 +1,109 @@
+#include "extraction/resilient.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "extraction/ieee.hh"
+#include "extraction/selective.hh"
+
+namespace decepticon::extraction {
+
+double
+ReliabilityStats::amplification() const
+{
+    return logicalBits == 0 ? 1.0
+                            : static_cast<double>(physicalReads) /
+                                  static_cast<double>(logicalBits);
+}
+
+RetryingProber::RetryingProber(BitProbeChannel &inner,
+                               const ResilienceOptions &opts,
+                               const VictimWeightOracle *fallback)
+    : BitProbeChannel(inner.oracle(), 1, 0.0, 0),
+      inner_(inner),
+      opts_(opts),
+      fallback_(fallback)
+{
+    assert(opts.votes >= 1 && opts.votes % 2 == 1);
+    assert(opts.maxAttemptsPerBit >= opts.votes);
+}
+
+ProbeAttempt
+RetryingProber::tryReadBit(std::size_t layer, std::size_t index,
+                           int word_bit)
+{
+    const int majority = opts_.votes / 2 + 1;
+    int ones = 0;
+    int zeros = 0;
+    int attempts = 0;
+    int consecutive_failures = 0;
+    std::size_t backoff = opts_.backoffBaseRounds;
+
+    while (attempts < opts_.maxAttemptsPerBit && ones < majority &&
+           zeros < majority) {
+        const ProbeAttempt attempt =
+            inner_.tryReadBit(layer, index, word_bit);
+        ++attempts;
+        if (!attempt.ok) {
+            ++reliability_.probeFailures;
+            // Exponential backoff: a failed hammer leaves the
+            // aggressor rows in an unknown state; re-arming them
+            // costs rounds that grow with each consecutive failure.
+            if (consecutive_failures > 0) {
+                inner_.accrueRounds(backoff);
+                reliability_.backoffRounds += backoff;
+                backoff = std::min(2 * backoff, opts_.backoffCapRounds);
+            }
+            ++consecutive_failures;
+            continue;
+        }
+        consecutive_failures = 0;
+        backoff = opts_.backoffBaseRounds;
+        (attempt.bit ? ones : zeros) += 1;
+    }
+
+    ++reliability_.logicalBits;
+    reliability_.physicalReads += static_cast<std::size_t>(attempts);
+    const int successes = ones + zeros;
+    if (successes > 1)
+        reliability_.voteReads +=
+            static_cast<std::size_t>(successes - 1);
+    if (attempts > majority)
+        reliability_.retries +=
+            static_cast<std::size_t>(attempts - majority);
+
+    ProbeAttempt out;
+    if (ones >= majority || zeros >= majority) {
+        out.ok = true;
+        out.bit = ones > zeros;
+        return out;
+    }
+
+    // Budget exhausted without a verdict: degrade to the pre-trained
+    // baseline bit when one exists (fine-tuning deltas are tiny, so
+    // the baseline is the best remaining estimate).
+    ++reliability_.exhaustedBits;
+    if (fallback_ != nullptr) {
+        ++reliability_.fallbackBits;
+        out.ok = true;
+        out.bit = (floatToBits(fallback_->weightValue(layer, index)) >>
+                   word_bit) &
+                  1u;
+        return out;
+    }
+    out.ok = false;
+    out.bit = ones >= zeros;
+    return out;
+}
+
+void
+mergeReliability(const ReliabilityStats &rel, ExtractionStats &stats)
+{
+    stats.probeRetries += rel.retries;
+    stats.voteReads += rel.voteReads;
+    stats.probeFailures += rel.probeFailures;
+    stats.fallbackBits += rel.fallbackBits;
+    stats.exhaustedBits += rel.exhaustedBits;
+}
+
+} // namespace decepticon::extraction

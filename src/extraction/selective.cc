@@ -51,6 +51,12 @@ ExtractionStats::merge(const ExtractionStats &other)
     bitsChecked += other.bitsChecked;
     fullWeightsRead += other.fullWeightsRead;
     unreadableWeights += other.unreadableWeights;
+    baselineFallbackWeights += other.baselineFallbackWeights;
+    probeRetries += other.probeRetries;
+    voteReads += other.voteReads;
+    probeFailures += other.probeFailures;
+    fallbackBits += other.fallbackBits;
+    exhaustedBits += other.exhaustedBits;
     auditedWeights += other.auditedWeights;
     extractionErrors += other.extractionErrors;
     signFlips += other.signFlips;
@@ -79,6 +85,7 @@ SelectiveWeightExtractor::extractWeight(float base,
     // better without the channel.
     if (!channel.canRead(layer, index)) {
         ++stats.unreadableWeights;
+        ++stats.baselineFallbackWeights;
         return base;
     }
 

@@ -68,6 +68,21 @@ struct ExtractionStats
     std::size_t fullWeightsRead = 0; ///< head weights read in full
     /** Weights the channel could not reach (non-hammerable rows). */
     std::size_t unreadableWeights = 0;
+    /**
+     * Weights resolved from the pre-trained baseline because the
+     * channel could not deliver them (unreachable rows, exhausted
+     * retry budgets). Graceful degradation, never silent dropping:
+     * every unreadable weight with a baseline lands here.
+     */
+    std::size_t baselineFallbackWeights = 0;
+
+    // Reliability accounting (filled when a RetryingProber drives the
+    // channel; all zero on a perfectly reliable channel).
+    std::size_t probeRetries = 0;  ///< attempts beyond the vote plan
+    std::size_t voteReads = 0;     ///< extra reads bought by voting
+    std::size_t probeFailures = 0; ///< attempts that landed nothing
+    std::size_t fallbackBits = 0;  ///< bits answered from the baseline
+    std::size_t exhaustedBits = 0; ///< bits whose budget ran out
 
     // Audit fields (filled by auditAccuracy against ground truth).
     std::size_t auditedWeights = 0;

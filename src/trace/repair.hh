@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Multi-capture trace repair for the lossy profiling channel. A real
+ * kernel-trace capture (CUPTI-style) drops records when its buffer
+ * overflows, delivers some records twice, and can truncate the tail
+ * when the profiler detaches early. The attacker's remedy is cheap:
+ * capture the victim's inference R times, align the noisy captures,
+ * and rebuild one consensus trace — duplicates collapsed, per-record
+ * durations median-filtered, timeline re-accumulated — before the
+ * fingerprint pipeline images it.
+ */
+
+#ifndef DECEPTICON_TRACE_REPAIR_HH
+#define DECEPTICON_TRACE_REPAIR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/kernel.hh"
+
+namespace decepticon::trace {
+
+/** Accounting of one repair pass. */
+struct RepairReport
+{
+    std::size_t captures = 0;          ///< input captures consumed
+    std::size_t referenceRecords = 0;  ///< records in the consensus
+    std::size_t duplicatesRemoved = 0; ///< exact duplicates collapsed
+    /** Mean fraction of consensus records each capture matched. */
+    double meanAlignedFraction = 0.0;
+};
+
+/**
+ * Collapse CUPTI-style duplicated records: a record identical to its
+ * predecessor (same kernel id and timestamps) is a capture artifact,
+ * not a second invocation.
+ */
+gpusim::KernelTrace dedupeRecords(const gpusim::KernelTrace &trace,
+                                  std::size_t *removed = nullptr);
+
+/**
+ * Greedy alignment of a capture against a reference kernel-id
+ * sequence with a bounded lookahead window. Returns, for each
+ * reference position, the matched capture index or npos. Assumes both
+ * sequences are (noisy) subsequences of one underlying schedule.
+ */
+std::vector<std::size_t>
+alignToReference(const std::vector<int> &reference,
+                 const std::vector<int> &capture,
+                 std::size_t lookahead = 8);
+
+/**
+ * Build one consensus trace from R noisy captures of the same
+ * inference: dedupe each capture, take the longest as the reference
+ * skeleton, align the rest to it, and replace every record's duration
+ * and leading gap with the median across the captures that observed
+ * it. Timestamps are re-accumulated so the result is physically
+ * consistent (monotone, non-overlapping).
+ *
+ * @pre !captures.empty(); at least one capture has a record
+ */
+gpusim::KernelTrace
+repairTraces(const std::vector<gpusim::KernelTrace> &captures,
+             RepairReport *report = nullptr);
+
+} // namespace decepticon::trace
+
+#endif // DECEPTICON_TRACE_REPAIR_HH

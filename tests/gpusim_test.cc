@@ -364,6 +364,44 @@ TEST(Noise, ZeroKernelsIsIdentity)
         EXPECT_DOUBLE_EQ(same.records[i].tEnd, trace.records[i].tEnd);
 }
 
+TEST(Noise, EmptyTraceIsNoOp)
+{
+    const dg::KernelTrace empty;
+    const auto out = dg::applyTimingNoise(empty, 8, 20.0, 5);
+    EXPECT_TRUE(out.records.empty());
+}
+
+TEST(Noise, ZeroMagnitudeIsIdentity)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto trace = gen.generate(bertBase(), 12);
+    const auto same = dg::applyTimingNoise(trace, 16, 0.0, 5);
+    ASSERT_EQ(same.records.size(), trace.records.size());
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        EXPECT_DOUBLE_EQ(same.records[i].tStart,
+                         trace.records[i].tStart);
+        EXPECT_DOUBLE_EQ(same.records[i].tEnd, trace.records[i].tEnd);
+    }
+}
+
+TEST(Noise, OversizedKernelCountIsClamped)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto trace = gen.generate(bertBase(), 12);
+    // Asking for far more kernels than the trace holds perturbs every
+    // record once and must not crash or grow the trace.
+    const auto noisy = dg::applyTimingNoise(
+        trace, trace.records.size() * 10, 20.0, 7);
+    ASSERT_EQ(noisy.records.size(), trace.records.size());
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        if (std::abs(noisy.records[i].duration() -
+                     trace.records[i].duration()) > 1e-9)
+            ++changed;
+    }
+    EXPECT_EQ(changed, trace.records.size());
+}
+
 TEST(Noise, KeepsTimestampsConsistent)
 {
     const dg::TraceGenerator gen(pytorchSig());
