@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+
 #include "extraction/bitprobe.hh"
 #include "extraction/selective.hh"
 #include "fingerprint/cnn.hh"
@@ -14,6 +17,8 @@
 #include "tensor/tensor.hh"
 #include "trace/image.hh"
 #include "transformer/classifier.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "util/rng.hh"
 #include "zoo/finetune_sim.hh"
 #include "zoo/weight_store.hh"
@@ -153,6 +158,50 @@ BM_SelectiveExtraction(benchmark::State &state)
 }
 BENCHMARK(BM_SelectiveExtraction);
 
+/**
+ * Console reporter that additionally folds every finished run into
+ * the global metrics registry as "bench.<name>.*" gauges, so the
+ * process can drop a machine-readable BENCH_*.json snapshot next to
+ * the usual console table.
+ */
+class MetricsReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        auto &reg = obs::metrics();
+        for (const auto &run : runs) {
+            if (run.error_occurred)
+                continue;
+            const std::string base = "bench." + run.benchmark_name();
+            reg.setGauge(base + ".real_time",
+                         run.GetAdjustedRealTime());
+            reg.setGauge(base + ".cpu_time", run.GetAdjustedCPUTime());
+            reg.setGauge(base + ".iterations",
+                         static_cast<double>(run.iterations));
+            for (const auto &kv : run.counters)
+                reg.setGauge(base + "." + kv.first,
+                             static_cast<double>(kv.second));
+        }
+    }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    obs::initFromEnv();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    MetricsReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    std::ofstream out("BENCH_perf_microbench.json");
+    obs::metrics().exportJson(out);
+    out << "\n";
+    std::cout << "\nwrote BENCH_perf_microbench.json\n";
+    obs::flush();
+    return 0;
+}

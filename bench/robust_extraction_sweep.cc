@@ -24,13 +24,16 @@
  *    clone error.
  */
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench/workloads.hh"
 #include "core/decepticon.hh"
 #include "extraction/cloner.hh"
 #include "fault/fault.hh"
 #include "gpusim/trace_generator.hh"
+#include "obs/metrics.hh"
 #include "util/table.hh"
 
 using namespace decepticon;
@@ -66,6 +69,18 @@ main()
 {
     std::cout << "=== Robust extraction sweep (unreliable channels) "
                  "===\n";
+
+    // Every sweep point lands in this registry (via the stat structs'
+    // toMetrics) and is dumped as BENCH_robust_extraction_sweep.json.
+    obs::MetricsRegistry bench_reg;
+    const auto point_label = [](const char *part, double knob,
+                                const char *suffix) {
+        std::ostringstream oss;
+        oss << "sweep." << part << "." << knob;
+        if (suffix[0] != '\0')
+            oss << "." << suffix;
+        return oss.str();
+    };
 
     // ---- Part A: identification under trace-capture faults ----
     zoo::ModelZoo pool = zoo::ModelZoo::buildDefault(11, 6, 12);
@@ -122,6 +137,13 @@ main()
             .cell(multi_acc, 3)
             .cell(knn_falls)
             .cell(seq_falls);
+        const std::string label = point_label("drop", drop, "");
+        bench_reg.setGauge(label + ".single_capture_acc", single_acc);
+        bench_reg.setGauge(label + ".resilient_acc", multi_acc);
+        bench_reg.setGauge(label + ".knn_fallbacks",
+                           static_cast<double>(knn_falls));
+        bench_reg.setGauge(label + ".seq_fallbacks",
+                           static_cast<double>(seq_falls));
     }
     util::printBanner(std::cout,
                       "Level 1: identification vs trace-capture "
@@ -182,6 +204,13 @@ main()
                 err_res_high = out.error;
             if (!resilient && flip == 1e-2)
                 err_raw_high = out.error;
+            const std::string label = point_label(
+                "flip", flip, resilient ? "res_on" : "res_off");
+            out.stats.toMetrics(bench_reg, label + ".extract");
+            out.probe.toMetrics(bench_reg, label + ".probe");
+            bench_reg.setGauge(label + ".clone_error", out.error);
+            bench_reg.setGauge(label + ".error_vs_clean",
+                               out.error / clean_run.error);
             tb.row()
                 .cell(flip, 4)
                 .cell(resilient ? "on" : "off")
@@ -225,5 +254,16 @@ main()
     if (!degrade_ok)
         std::cout << "FAIL: disabling resilience did not degrade the "
                      "clone\n";
+
+    bench_reg.setGauge("sweep.clean_clone_error", clean_run.error);
+    bench_reg.setGauge("sweep.clean_extractor_acc", clean_acc);
+    clean_run.stats.toMetrics(bench_reg, "sweep.clean.extract");
+    clean_run.probe.toMetrics(bench_reg, "sweep.clean.probe");
+    {
+        std::ofstream out("BENCH_robust_extraction_sweep.json");
+        bench_reg.exportJson(out);
+        out << "\n";
+    }
+    std::cout << "wrote BENCH_robust_extraction_sweep.json\n";
     return det_ok && id_ok && error_ok && degrade_ok ? 0 : 1;
 }

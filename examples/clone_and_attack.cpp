@@ -13,9 +13,12 @@
 #include <iostream>
 
 #include "attack/adversarial.hh"
+#include "core/decepticon.hh"
 #include "extraction/cloner.hh"
 #include "extraction/ieee.hh"
+#include "gpusim/trace_generator.hh"
 #include "nn/param.hh"
+#include "obs/obs.hh"
 #include "transformer/trainer.hh"
 #include "util/table.hh"
 
@@ -24,6 +27,20 @@ using namespace decepticon;
 int
 main()
 {
+    // Telemetry: DECEPTICON_OBS=trace:/tmp/run.json,metrics:/tmp/run.jsonl
+    // exports a Chrome trace spanning both attack levels plus a JSONL
+    // dump of every probe/retry/fallback counter below.
+    obs::initFromEnv();
+    std::uint64_t phase_start = obs::clock().nowMicros();
+    const auto end_phase = [&](const char *name) {
+        const std::uint64_t now = obs::clock().nowMicros();
+        if (obs::metricsEnabled())
+            obs::metrics().setGauge(
+                std::string("phase.") + name + ".micros",
+                static_cast<double>(now - phase_start));
+        phase_start = now;
+    };
+
     std::cout << "=== Decepticon: clone-and-attack economics ===\n";
 
     transformer::TransformerConfig cfg;
@@ -53,7 +70,36 @@ main()
     fopts.lr = 2e-4f;
     fopts.headLrMultiplier = 30.0f;
     transformer::Trainer::fineTune(victim, task.sample(160, 2), fopts);
+    end_phase("world_setup");
 
+    // ------------------------------------------------------------------
+    // Level 1 first: identify a victim's pre-trained parent from its
+    // kernel trace, so an exported Chrome trace covers both attack
+    // levels end to end (train extractor -> identify -> extract).
+    // ------------------------------------------------------------------
+    {
+        auto sp = obs::span("example.level1", "example");
+        zoo::ModelZoo pool = zoo::ModelZoo::buildDefault(11, 6, 12);
+        core::DecepticonOptions dopts;
+        dopts.datasetOptions.imagesPerModel = 4;
+        dopts.datasetOptions.resolution = 32;
+        dopts.cnnOptions.epochs = 30;
+        dopts.seed = 3;
+        core::Decepticon pipeline(dopts);
+        pipeline.trainExtractor(pool);
+        const zoo::ModelIdentity *zvictim = pool.finetuned()[0];
+        const auto trace = gpusim::TraceGenerator(zvictim->signature)
+                               .generate(zvictim->arch, 0xfeedULL);
+        const auto ident = pipeline.identify(trace);
+        sp.arg("parent", ident.pretrainedName);
+        std::cout << "[level 1] victim parent identified as "
+                  << ident.pretrainedName << " (confidence "
+                  << ident.topProbability << "; actual "
+                  << zvictim->pretrainedName << ")\n";
+    }
+    end_phase("level1");
+
+    auto level2_span = obs::span("example.level2", "example");
     const auto dev = task.sample(120, 3);
     std::vector<int> victim_preds;
     for (const auto &ex : dev.examples)
@@ -166,9 +212,12 @@ main()
             es.baselineFallbackWeights < es.unreadableWeights) {
             std::cout << "FAIL: unreadable weights not resolved via "
                          "baseline fallback\n";
+            obs::flush();
             return 1;
         }
     }
+    level2_span.end();
+    end_phase("level2");
 
     // Quantization note (Sec. 8): the checked fraction bits survive a
     // bfloat16 round trip because bfloat16 keeps float32's exponent.
@@ -182,5 +231,6 @@ main()
                       : "no")
               << ")\n";
 
+    obs::flush();
     return best_success > 0.4 ? 0 : 1;
 }

@@ -25,10 +25,12 @@
 
 #include "attack/adversarial.hh"
 #include "core/decepticon.hh"
+#include "core/run_report.hh"
 #include "extraction/cloner.hh"
 #include "fingerprint/dataset.hh"
 #include "gpusim/trace_generator.hh"
 #include "nn/param.hh"
+#include "obs/obs.hh"
 #include "trace/image.hh"
 #include "transformer/trainer.hh"
 
@@ -37,6 +39,17 @@ using namespace decepticon;
 int
 main()
 {
+    // Telemetry: set DECEPTICON_OBS=trace:/tmp/run.json,metrics:...
+    // to capture spans and counters of the whole attack.
+    obs::initFromEnv();
+    core::AttackRunReport run;
+    std::uint64_t phase_start = obs::clock().nowMicros();
+    const auto end_phase = [&](const char *name) {
+        const std::uint64_t now = obs::clock().nowMicros();
+        run.recordPhase(name, now - phase_start);
+        phase_start = now;
+    };
+
     std::cout << "=== Decepticon quickstart ===\n\n";
 
     // ------------------------------------------------------------------
@@ -85,6 +98,7 @@ main()
     const auto victim_eval = transformer::Trainer::evaluate(victim, dev);
     std::cout << "victim deployed; dev accuracy "
               << victim_eval.accuracy << "\n\n";
+    end_phase("world_setup");
 
     // ------------------------------------------------------------------
     // Level 1: identify the pre-trained model.
@@ -100,6 +114,7 @@ main()
     const double extractor_acc = pipeline.trainExtractor(pool);
     std::cout << "    extractor held-out accuracy: " << extractor_acc
               << "\n";
+    end_phase("train_extractor");
 
     std::cout << "[level 1] capturing the victim's kernel trace...\n";
     const gpusim::KernelTrace victim_trace =
@@ -118,6 +133,8 @@ main()
               << "\n    correct: "
               << (ident.pretrainedName == parent->name ? "YES" : "no")
               << "\n\n";
+    end_phase("identify");
+    run.recordIdentification(ident);
 
     // ------------------------------------------------------------------
     // Level 2: selective weight extraction -> clone.
@@ -152,6 +169,11 @@ main()
               << "% of a naive full-weight attack)\n"
               << "    victim prediction-API queries used: "
               << clone_result.victimQueries << "\n\n";
+    end_phase("extract");
+    run.recordExtraction(clone_result.probeStats,
+                         clone_result.extractionStats,
+                         clone_result.layersExtracted,
+                         clone_result.victimQueries);
 
     // ------------------------------------------------------------------
     // White-box attack with the clone.
@@ -164,11 +186,24 @@ main()
     std::cout << "    adversarial success rate on the victim: "
               << transfer.successRate() << " (" << transfer.fooled
               << "/" << transfer.eligible << " seeds)\n\n";
+    end_phase("adversarial");
 
     const bool ok = ident.pretrainedName == parent->name &&
                     matched > 0.9 && transfer.successRate() > 0.4;
+
+    // The same run, as the machine-readable report (one paragraph).
+    run.victimAccuracy = victim_eval.accuracy;
+    run.cloneAccuracy = clone_eval.accuracy;
+    run.cloneVictimAgreement = matched;
+    run.adversarialSuccess = transfer.successRate();
+    run.complete = ok;
+    if (obs::metricsEnabled())
+        run.toMetrics(obs::metrics());
+    std::cout << "[report] " << run.summaryParagraph() << "\n\n";
+
     std::cout << (ok ? "Quickstart attack succeeded."
                      : "Quickstart attack underperformed — see output.")
               << "\n";
+    obs::flush();
     return ok ? 0 : 1;
 }

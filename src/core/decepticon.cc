@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "gpusim/trace_generator.hh"
+#include "obs/obs.hh"
 #include "trace/repair.hh"
 #include "util/rng.hh"
 
@@ -17,6 +18,7 @@ Decepticon::Decepticon(const DecepticonOptions &opts)
 double
 Decepticon::trainExtractor(const zoo::ModelZoo &candidate_pool)
 {
+    auto sp = obs::span("level1.train_extractor", "level1");
     fingerprint::DatasetOptions ds_opts = opts_.datasetOptions;
     ds_opts.seed = opts_.seed;
     const fingerprint::FingerprintDataset dataset =
@@ -69,11 +71,19 @@ Decepticon::identify(const gpusim::KernelTrace &victim_trace,
     assert(cnn_ && "trainExtractor must run first");
     IdentificationResult result;
 
+    auto sp = obs::span("level1.identify", "level1");
+    obs::count("level1.identifies");
+
+    auto raster_span = obs::span("level1.rasterize", "level1");
     const tensor::Tensor image = fingerprint::fingerprintImage(
         victim_trace, cnn_->resolution(),
         opts_.datasetOptions.cropIrregular);
+    raster_span.end();
+
+    auto cnn_span = obs::span("level1.cnn_classify", "level1");
     const std::vector<double> probs = cnn_->classProbabilities(image);
     const std::vector<int> top = cnn_->topK(image, opts_.topK);
+    cnn_span.end();
     assert(!top.empty());
 
     for (int c : top)
@@ -93,6 +103,8 @@ Decepticon::identify(const gpusim::KernelTrace &victim_trace,
 
     if (ambiguous.size() > 1 && query_victim) {
         result.usedQueryProbes = true;
+        obs::count("level1.query_probe_rounds");
+        auto probe_span = obs::span("level1.query_probes", "level1");
         const std::vector<bool> victim_resp = query_victim();
         int best = ambiguous[0];
         std::size_t best_dist = probes_.size() + 1;
@@ -110,6 +122,10 @@ Decepticon::identify(const gpusim::KernelTrace &victim_trace,
     } else {
         result.pretrainedName = classNames_[static_cast<std::size_t>(top[0])];
     }
+    obs::gaugeSet("level1.confidence", result.topProbability);
+    obs::observe("level1.confidence_hist", result.topProbability);
+    sp.arg("parent", result.pretrainedName);
+    sp.arg("confidence", result.topProbability);
     return result;
 }
 
@@ -121,6 +137,9 @@ Decepticon::identifyResilient(
 {
     assert(cnn_ && "trainExtractor must run first");
     assert(!captures.empty());
+
+    auto sp = obs::span("level1.identify_resilient", "level1");
+    sp.arg("captures", static_cast<std::uint64_t>(captures.size()));
 
     trace::RepairReport report;
     const gpusim::KernelTrace repaired =
@@ -164,11 +183,13 @@ Decepticon::identifyResilient(
         // already disambiguated (stronger, input-dependent evidence).
         if (!result.usedQueryProbes)
             result.pretrainedName = classNames_[cnn_winner];
+        obs::gaugeSet("level1.quorum_agreement", result.quorumAgreement);
         return result;
     }
 
     // Tier 2: kNN template quorum over the same images.
     result.usedKnnFallback = true;
+    obs::count("level1.knn_fallbacks");
     std::vector<std::size_t> knn_votes(classNames_.size(), 0);
     ++knn_votes[static_cast<std::size_t>(knn_.predict(image_of(repaired)))];
     for (const auto &cap : captures)
@@ -178,12 +199,14 @@ Decepticon::identifyResilient(
     if (knn_share >= ropts.quorumThreshold) {
         result.pretrainedName = classNames_[knn_winner];
         result.quorumAgreement = knn_share;
+        obs::gaugeSet("level1.quorum_agreement", result.quorumAgreement);
         return result;
     }
 
     // Tier 3: attribute the consensus trace to the lineage whose
     // sequence predictor decodes it with the lowest layer error rate.
     result.usedSeqFallback = true;
+    obs::count("level1.seq_fallbacks");
     std::size_t best = 0;
     double best_ler = seqPredictors_[0].layerErrorRate(repaired);
     for (std::size_t c = 1; c < seqPredictors_.size(); ++c) {

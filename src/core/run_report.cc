@@ -1,0 +1,177 @@
+#include "core/run_report.hh"
+
+#include <sstream>
+
+#include "obs/metrics.hh"
+
+namespace decepticon::core {
+
+void
+AttackRunReport::recordIdentification(const IdentificationResult &ident)
+{
+    identifiedParent = ident.pretrainedName;
+    identifyConfidence = ident.topProbability;
+    usedQueryProbes = ident.usedQueryProbes;
+    usedKnnFallback = ident.usedKnnFallback;
+    usedSeqFallback = ident.usedSeqFallback;
+    capturesUsed = ident.capturesUsed;
+    quorumAgreement = ident.quorumAgreement;
+}
+
+void
+AttackRunReport::recordExtraction(const extraction::ProbeStats &probe,
+                                  const extraction::ExtractionStats &stats,
+                                  std::size_t layers_extracted,
+                                  std::size_t victim_queries)
+{
+    layersExtracted = layers_extracted;
+    bitsRead = probe.bitsRead;
+    hammerRounds = probe.hammerRounds;
+    totalWeights = stats.totalWeights;
+    weightsSkipped = stats.weightsSkipped;
+    probeRetries = stats.probeRetries;
+    voteReads = stats.voteReads;
+    probeFailures = stats.probeFailures;
+    fallbackBits = stats.fallbackBits;
+    exhaustedBits = stats.exhaustedBits;
+    victimQueries = victim_queries;
+}
+
+void
+AttackRunReport::recordPhase(std::string name, std::uint64_t micros)
+{
+    phases.push_back(PhaseTiming{std::move(name), micros});
+}
+
+std::uint64_t
+AttackRunReport::totalMicros() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : phases)
+        total += p.micros;
+    return total;
+}
+
+std::string
+AttackRunReport::toJson() const
+{
+    std::ostringstream oss;
+    oss << "{\"level1\":{"
+        << "\"parent\":" << obs::jsonQuote(identifiedParent)
+        << ",\"confidence\":" << obs::jsonNumber(identifyConfidence)
+        << ",\"used_query_probes\":"
+        << (usedQueryProbes ? "true" : "false")
+        << ",\"used_knn_fallback\":"
+        << (usedKnnFallback ? "true" : "false")
+        << ",\"used_seq_fallback\":"
+        << (usedSeqFallback ? "true" : "false")
+        << ",\"captures_used\":" << capturesUsed
+        << ",\"quorum_agreement\":" << obs::jsonNumber(quorumAgreement)
+        << "},\"level2\":{"
+        << "\"layers_extracted\":" << layersExtracted
+        << ",\"bits_read\":" << bitsRead
+        << ",\"hammer_rounds\":" << hammerRounds
+        << ",\"total_weights\":" << totalWeights
+        << ",\"weights_skipped\":" << weightsSkipped
+        << ",\"probe_retries\":" << probeRetries
+        << ",\"vote_reads\":" << voteReads
+        << ",\"probe_failures\":" << probeFailures
+        << ",\"fallback_bits\":" << fallbackBits
+        << ",\"exhausted_bits\":" << exhaustedBits
+        << ",\"victim_queries\":" << victimQueries
+        << "},\"quality\":{"
+        << "\"victim_accuracy\":" << obs::jsonNumber(victimAccuracy)
+        << ",\"clone_accuracy\":" << obs::jsonNumber(cloneAccuracy)
+        << ",\"agreement\":" << obs::jsonNumber(cloneVictimAgreement)
+        << ",\"adversarial_success\":"
+        << obs::jsonNumber(adversarialSuccess)
+        << ",\"complete\":" << (complete ? "true" : "false")
+        << "},\"phases\":[";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        if (i > 0)
+            oss << ",";
+        oss << "{\"name\":" << obs::jsonQuote(phases[i].name)
+            << ",\"micros\":" << phases[i].micros << "}";
+    }
+    oss << "],\"total_micros\":" << totalMicros() << "}";
+    return oss.str();
+}
+
+void
+AttackRunReport::toMetrics(obs::MetricsRegistry &registry) const
+{
+    const auto gauge = [&](const char *name, double value) {
+        registry.setGauge(std::string("run.") + name, value);
+    };
+    gauge("identify_confidence", identifyConfidence);
+    gauge("quorum_agreement", quorumAgreement);
+    gauge("captures_used", static_cast<double>(capturesUsed));
+    gauge("used_query_probes", usedQueryProbes ? 1.0 : 0.0);
+    gauge("used_knn_fallback", usedKnnFallback ? 1.0 : 0.0);
+    gauge("used_seq_fallback", usedSeqFallback ? 1.0 : 0.0);
+    gauge("layers_extracted", static_cast<double>(layersExtracted));
+    gauge("bits_read", static_cast<double>(bitsRead));
+    gauge("hammer_rounds", static_cast<double>(hammerRounds));
+    gauge("total_weights", static_cast<double>(totalWeights));
+    gauge("weights_skipped", static_cast<double>(weightsSkipped));
+    gauge("probe_retries", static_cast<double>(probeRetries));
+    gauge("vote_reads", static_cast<double>(voteReads));
+    gauge("probe_failures", static_cast<double>(probeFailures));
+    gauge("fallback_bits", static_cast<double>(fallbackBits));
+    gauge("exhausted_bits", static_cast<double>(exhaustedBits));
+    gauge("victim_queries", static_cast<double>(victimQueries));
+    gauge("victim_accuracy", victimAccuracy);
+    gauge("clone_accuracy", cloneAccuracy);
+    gauge("agreement", cloneVictimAgreement);
+    gauge("adversarial_success", adversarialSuccess);
+    gauge("complete", complete ? 1.0 : 0.0);
+    gauge("total_micros", static_cast<double>(totalMicros()));
+    for (const auto &p : phases)
+        registry.setGauge("phase." + p.name + ".micros",
+                          static_cast<double>(p.micros));
+}
+
+std::string
+AttackRunReport::summaryParagraph() const
+{
+    std::ostringstream oss;
+    oss << "Attack run: identified parent \""
+        << (identifiedParent.empty() ? "<none>" : identifiedParent)
+        << "\" with confidence " << identifyConfidence;
+    if (capturesUsed > 1)
+        oss << " from " << capturesUsed
+            << " noisy captures (quorum agreement " << quorumAgreement
+            << ")";
+    if (usedQueryProbes)
+        oss << ", disambiguated via query probes";
+    if (usedSeqFallback)
+        oss << ", via sequence-predictor fallback";
+    else if (usedKnnFallback)
+        oss << ", via kNN fallback";
+    oss << ". Extracted " << layersExtracted << " layer(s) reading "
+        << bitsRead << " bits in " << hammerRounds
+        << " hammer rounds, skipping " << weightsSkipped << " of "
+        << totalWeights << " weights";
+    if (probeRetries + voteReads + fallbackBits > 0)
+        oss << " (" << probeRetries << " retries, " << voteReads
+            << " vote reads, " << fallbackBits << " baseline-fallback"
+            << " bits, " << exhaustedBits << " exhausted)";
+    oss << ", using " << victimQueries << " victim queries. "
+        << "Clone accuracy " << cloneAccuracy << " vs victim "
+        << victimAccuracy << " (agreement " << cloneVictimAgreement
+        << "); adversarial success " << adversarialSuccess << ". ";
+    if (!phases.empty()) {
+        oss << "Wall time " << totalMicros() / 1000 << " ms (";
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            if (i > 0)
+                oss << ", ";
+            oss << phases[i].name << " " << phases[i].micros / 1000
+                << " ms";
+        }
+        oss << "). ";
+    }
+    oss << "Run " << (complete ? "complete" : "incomplete") << ".";
+    return oss.str();
+}
+
+} // namespace decepticon::core

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "transformer/trainer.hh"
 
 namespace decepticon::core {
@@ -48,15 +49,31 @@ TwoLevelAttack::execute(
     assert(prepared_ && "prepare() must run before execute()");
     AttackReport report;
 
+    auto attack_span = obs::span("attack.execute", "attack");
+    auto phase_start = obs::clock().nowMicros();
+    const auto end_phase = [&](const char *name) {
+        const std::uint64_t now = obs::clock().nowMicros();
+        report.run.recordPhase(name, now - phase_start);
+        phase_start = now;
+    };
+
     // ------------------------------------------------------------------
     // Level 1: name the pre-trained parent.
     // ------------------------------------------------------------------
-    report.identification =
-        pipeline_->identify(victim_trace, query_victim);
+    {
+        auto sp = obs::span("attack.phase.identify", "attack");
+        report.identification =
+            pipeline_->identify(victim_trace, query_victim);
+    }
+    end_phase("identify");
+    report.run.recordIdentification(report.identification);
     const auto it = weightsByName_.find(
         report.identification.pretrainedName);
-    if (it == weightsByName_.end())
+    if (it == weightsByName_.end()) {
+        if (obs::metricsEnabled())
+            report.run.toMetrics(obs::metrics());
         return report; // identified something outside the pool
+    }
 
     // The attacker now "downloads" the identified pre-trained model.
     const transformer::TransformerClassifier &pretrained = *it->second;
@@ -70,6 +87,11 @@ TwoLevelAttack::execute(
     report.extractionStats = clone_result.extractionStats;
     report.layersExtracted = clone_result.layersExtracted;
     report.clone = std::move(clone_result.clone);
+    end_phase("extract");
+    report.run.recordExtraction(report.probeStats,
+                                report.extractionStats,
+                                report.layersExtracted,
+                                clone_result.victimQueries);
 
     // ------------------------------------------------------------------
     // Clone quality.
@@ -86,14 +108,28 @@ TwoLevelAttack::execute(
     report.cloneAccuracy = clone_eval.accuracy;
     report.cloneVictimAgreement = transformer::Trainer::agreement(
         clone_eval.predictions, victim_preds);
+    end_phase("evaluate");
 
     // ------------------------------------------------------------------
     // Adversarial follow-up with the clone.
     // ------------------------------------------------------------------
-    report.adversarial = attack::evaluateTransfer(
-        victim, *report.clone, adversarial_seeds, opts_.adversarial);
+    {
+        auto sp = obs::span("attack.phase.adversarial", "attack");
+        report.adversarial = attack::evaluateTransfer(
+            victim, *report.clone, adversarial_seeds, opts_.adversarial);
+    }
+    end_phase("adversarial");
 
     report.complete = true;
+    report.run.victimAccuracy = report.victimAccuracy;
+    report.run.cloneAccuracy = report.cloneAccuracy;
+    report.run.cloneVictimAgreement = report.cloneVictimAgreement;
+    report.run.adversarialSuccess = report.adversarial.successRate();
+    report.run.complete = true;
+    attack_span.arg("parent", report.identification.pretrainedName);
+    attack_span.arg("agreement", report.cloneVictimAgreement);
+    if (obs::metricsEnabled())
+        report.run.toMetrics(obs::metrics());
     return report;
 }
 

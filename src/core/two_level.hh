@@ -18,6 +18,7 @@
 
 #include "attack/adversarial.hh"
 #include "core/decepticon.hh"
+#include "core/run_report.hh"
 #include "extraction/cloner.hh"
 #include "transformer/classifier.hh"
 #include "transformer/task.hh"
@@ -46,6 +47,13 @@ struct AttackReport
 
     /** True when every stage produced a usable artifact. */
     bool complete = false;
+
+    /**
+     * Machine-readable telemetry rollup of the same run: per-phase
+     * wall time plus every counter above in serializable form
+     * (run.toJson() / run.toMetrics() / run.summaryParagraph()).
+     */
+    AttackRunReport run;
 };
 
 /** Options for the full pipeline. */

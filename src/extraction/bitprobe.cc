@@ -4,8 +4,19 @@
 
 #include "extraction/ieee.hh"
 #include "fault/fault.hh"
+#include "obs/obs.hh"
 
 namespace decepticon::extraction {
+
+void
+ProbeStats::toMetrics(obs::MetricsRegistry &registry,
+                      const std::string &prefix) const
+{
+    registry.setGauge(prefix + ".bits_read",
+                      static_cast<double>(bitsRead));
+    registry.setGauge(prefix + ".hammer_rounds",
+                      static_cast<double>(hammerRounds));
+}
 
 std::size_t
 ParamGroupOracle::layerSize(std::size_t layer) const
@@ -81,6 +92,16 @@ BitProbeChannel::tryReadBit(std::size_t layer, std::size_t index,
 {
     charge(roundsPerBit_);
     return attemptBit(layer, index, word_bit);
+}
+
+void
+BitProbeChannel::resetStats()
+{
+    stats_ = ProbeStats{};
+    // Keep the registry honest: a reset must be visible downstream,
+    // not leave the last session's totals frozen in the gauges.
+    if (obs::metricsEnabled())
+        stats_.toMetrics(obs::metrics());
 }
 
 float

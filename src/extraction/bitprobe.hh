@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "nn/param.hh"
@@ -22,6 +23,10 @@
 
 namespace decepticon::fault {
 class FaultInjector;
+}
+
+namespace decepticon::obs {
+class MetricsRegistry;
 }
 
 namespace decepticon::extraction {
@@ -106,6 +111,14 @@ struct ProbeStats
     std::size_t bitsRead = 0;
     /** Rowhammer rounds spent (bitsRead * roundsPerBit). */
     std::size_t hammerRounds = 0;
+
+    /**
+     * Publish the current snapshot as gauges "<prefix>.bits_read" and
+     * "<prefix>.hammer_rounds" — the shared serialization every bench
+     * and report uses instead of hand-formatting these fields.
+     */
+    void toMetrics(obs::MetricsRegistry &registry,
+                   const std::string &prefix = "probe") const;
 };
 
 /**
@@ -195,7 +208,12 @@ class BitProbeChannel
 
     const ProbeStats &stats() const { return stats_; }
 
-    void resetStats() { stats_ = ProbeStats{}; }
+    /**
+     * Zero the session ledger. The cleared snapshot is re-published to
+     * the global metrics registry (when metrics are on), so the
+     * "probe.*" gauges never go stale across a reset.
+     */
+    void resetStats();
 
     const VictimWeightOracle &oracle() const { return oracle_; }
 

@@ -5,6 +5,7 @@
 
 #include "extraction/ieee.hh"
 #include "extraction/selective.hh"
+#include "obs/metrics.hh"
 
 namespace decepticon::extraction {
 
@@ -14,6 +15,24 @@ ReliabilityStats::amplification() const
     return logicalBits == 0 ? 1.0
                             : static_cast<double>(physicalReads) /
                                   static_cast<double>(logicalBits);
+}
+
+void
+ReliabilityStats::toMetrics(obs::MetricsRegistry &registry,
+                            const std::string &prefix) const
+{
+    const auto gauge = [&](const char *field, double value) {
+        registry.setGauge(prefix + "." + field, value);
+    };
+    gauge("logical_bits", static_cast<double>(logicalBits));
+    gauge("physical_reads", static_cast<double>(physicalReads));
+    gauge("retries", static_cast<double>(retries));
+    gauge("vote_reads", static_cast<double>(voteReads));
+    gauge("probe_failures", static_cast<double>(probeFailures));
+    gauge("backoff_rounds", static_cast<double>(backoffRounds));
+    gauge("fallback_bits", static_cast<double>(fallbackBits));
+    gauge("exhausted_bits", static_cast<double>(exhaustedBits));
+    gauge("amplification", amplification());
 }
 
 RetryingProber::RetryingProber(BitProbeChannel &inner,

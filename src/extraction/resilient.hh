@@ -64,6 +64,13 @@ struct ReliabilityStats
     /** Physical reads per logical bit (1.0 on a perfect channel
      *  with votes == 1). */
     double amplification() const;
+
+    /**
+     * Publish the snapshot as "<prefix>.*" gauges (all counters plus
+     * the derived amplification factor).
+     */
+    void toMetrics(obs::MetricsRegistry &registry,
+                   const std::string &prefix = "reliability") const;
 };
 
 /**

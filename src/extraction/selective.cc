@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "extraction/ieee.hh"
+#include "obs/metrics.hh"
 
 namespace decepticon::extraction {
 
@@ -60,6 +61,34 @@ ExtractionStats::merge(const ExtractionStats &other)
     auditedWeights += other.auditedWeights;
     extractionErrors += other.extractionErrors;
     signFlips += other.signFlips;
+}
+
+void
+ExtractionStats::toMetrics(obs::MetricsRegistry &registry,
+                           const std::string &prefix) const
+{
+    const auto gauge = [&](const char *field, double value) {
+        registry.setGauge(prefix + "." + field, value);
+    };
+    gauge("total_weights", static_cast<double>(totalWeights));
+    gauge("weights_skipped", static_cast<double>(weightsSkipped));
+    gauge("weights_checked", static_cast<double>(weightsChecked));
+    gauge("bits_checked", static_cast<double>(bitsChecked));
+    gauge("full_weights_read", static_cast<double>(fullWeightsRead));
+    gauge("unreadable_weights", static_cast<double>(unreadableWeights));
+    gauge("baseline_fallback_weights",
+          static_cast<double>(baselineFallbackWeights));
+    gauge("probe_retries", static_cast<double>(probeRetries));
+    gauge("vote_reads", static_cast<double>(voteReads));
+    gauge("probe_failures", static_cast<double>(probeFailures));
+    gauge("fallback_bits", static_cast<double>(fallbackBits));
+    gauge("exhausted_bits", static_cast<double>(exhaustedBits));
+    gauge("audited_weights", static_cast<double>(auditedWeights));
+    gauge("extraction_errors", static_cast<double>(extractionErrors));
+    gauge("sign_flips", static_cast<double>(signFlips));
+    gauge("bits_excluded_fraction", bitsExcludedFraction());
+    gauge("weights_skipped_fraction", weightsSkippedFraction());
+    gauge("correct_fraction", correctFraction());
 }
 
 float

@@ -99,6 +99,14 @@ struct ExtractionStats
     double correctFraction() const;
 
     void merge(const ExtractionStats &other);
+
+    /**
+     * Publish the snapshot as "<prefix>.*" gauges (totals, skip/check
+     * counters, reliability fold-ins, audit results, and the derived
+     * fractions). The single serialization path for this struct.
+     */
+    void toMetrics(obs::MetricsRegistry &registry,
+                   const std::string &prefix = "extract") const;
 };
 
 /** Algorithm 1 over a bit-probe channel. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hh"
 #include "util/rng.hh"
 
 namespace decepticon::fault {
@@ -164,6 +165,10 @@ FaultInjector::corruptTrace(const gpusim::KernelTrace &trace,
     util::SplitMix64 mix(spec_.seed ^ kTraceTag);
     util::Rng rng(mix.next() ^ capture_seed);
 
+    const std::size_t dropped_before = counters_.recordsDropped;
+    const std::size_t duplicated_before = counters_.recordsDuplicated;
+    const std::size_t truncated_before = counters_.recordsTruncated;
+
     out.records.reserve(trace.records.size());
     for (const auto &rec : trace.records) {
         if (spec_.recordDropRate > 0.0 &&
@@ -200,6 +205,14 @@ FaultInjector::corruptTrace(const gpusim::KernelTrace &trace,
     // experiment.
     if (out.records.empty())
         out.records.push_back(trace.records.front());
+
+    obs::count("fault.captures_corrupted");
+    obs::count("fault.records_dropped",
+               counters_.recordsDropped - dropped_before);
+    obs::count("fault.records_duplicated",
+               counters_.recordsDuplicated - duplicated_before);
+    obs::count("fault.records_truncated",
+               counters_.recordsTruncated - truncated_before);
     return out;
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "nn/optim.hh"
+#include "obs/obs.hh"
 #include "util/rng.hh"
 
 namespace decepticon::fingerprint {
@@ -110,6 +111,10 @@ FingerprintCnn::train(const FingerprintDataset &data,
 {
     assert(!data.samples.empty());
     assert(data.resolution == resolution_);
+
+    auto sp = obs::span("fingerprint.cnn.train", "fingerprint");
+    sp.arg("samples", static_cast<std::uint64_t>(data.samples.size()));
+    sp.arg("epochs", static_cast<std::uint64_t>(opts.epochs));
 
     nn::Adam optim(params(), opts.lr);
     util::Rng rng(opts.shuffleSeed);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hh"
 #include "trace/image.hh"
 
 namespace decepticon::fingerprint {
@@ -26,6 +27,7 @@ int
 NearestNeighborClassifier::predict(const tensor::Tensor &image) const
 {
     assert(!templates_.empty());
+    obs::count("fingerprint.knn.predicts");
     const tensor::Tensor probe = trace::boxBlur3(image);
 
     std::vector<std::pair<double, int>> dist;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/obs.hh"
 #include "util/rng.hh"
 
 namespace decepticon::gpusim {
@@ -215,6 +216,10 @@ TraceGenerator::generateDefended(const ArchParams &arch,
     assert(arch.numLayers > 0 && arch.hidden > 0 && arch.numHeads > 0);
     assert(arch.prunedHeads < arch.numHeads);
 
+    auto sp = obs::span("gpusim.generate", "gpusim");
+    sp.arg("layers", static_cast<std::uint64_t>(arch.numLayers));
+    sp.arg("hidden", static_cast<std::uint64_t>(arch.hidden));
+
     util::Rng rng(run_seed ^ sig_.seed());
     KernelTrace trace;
     trace.kernelNames.reserve(catalog_.size());
@@ -277,6 +282,11 @@ TraceGenerator::generateDefended(const ArchParams &arch,
     for (const auto &slot : epilogueTemplate_)
         emit(slot, Phase::OutputLayer, -1);
 
+    obs::count("gpusim.traces_generated");
+    obs::count("gpusim.kernels_emitted", trace.records.size());
+    if (strength > 0.0)
+        obs::count("gpusim.defended_traces");
+    sp.arg("kernels", static_cast<std::uint64_t>(trace.records.size()));
     return trace;
 }
 

@@ -1,0 +1,187 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace decepticon::obs {
+
+void
+MetricsRegistry::add(const std::string &name, std::uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[name] = value;
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value, double lo,
+                         double hi, std::size_t bins)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, util::Histogram(lo, hi, bins)).first;
+    it->second.add(value);
+}
+
+std::uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool
+MetricsRegistry::hasCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_.count(name) != 0;
+}
+
+bool
+MetricsRegistry::hasGauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_.count(name) != 0;
+}
+
+std::optional<util::Histogram>
+MetricsRegistry::histogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+namespace {
+
+void
+writeHistogram(std::ostream &out, const util::Histogram &h)
+{
+    out << "\"lo\":" << jsonNumber(h.lo) << ",\"hi\":" << jsonNumber(h.hi)
+        << ",\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+        out << (i ? "," : "") << h.counts[i];
+    out << "],\"total\":" << h.total();
+}
+
+} // anonymous namespace
+
+void
+MetricsRegistry::exportJsonl(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, value] : counters_)
+        out << "{\"type\":\"counter\",\"name\":" << jsonQuote(name)
+            << ",\"value\":" << value << "}\n";
+    for (const auto &[name, value] : gauges_)
+        out << "{\"type\":\"gauge\",\"name\":" << jsonQuote(name)
+            << ",\"value\":" << jsonNumber(value) << "}\n";
+    for (const auto &[name, h] : histograms_) {
+        out << "{\"type\":\"histogram\",\"name\":" << jsonQuote(name)
+            << ",";
+        writeHistogram(out, h);
+        out << "}\n";
+    }
+}
+
+void
+MetricsRegistry::exportJson(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        out << (first ? "" : ",") << jsonQuote(name) << ":" << value;
+        first = false;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gauges_) {
+        out << (first ? "" : ",") << jsonQuote(name) << ":"
+            << jsonNumber(value);
+        first = false;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        out << (first ? "" : ",") << jsonQuote(name) << ":{";
+        writeHistogram(out, h);
+        out << "}";
+        first = false;
+    }
+    out << "}}\n";
+}
+
+} // namespace decepticon::obs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Thread-safe registry of named counters, gauges, and histograms —
+ * the quantitative half of the telemetry layer. Counters accumulate
+ * monotonically (bits hammered, kernels emitted), gauges hold the
+ * latest value of a measurement (CNN confidence, phase wall time),
+ * and histograms (util::Histogram underneath) capture distributions.
+ * The whole registry exports as JSONL (one metric per line) or as a
+ * single JSON object for BENCH_*.json perf snapshots.
+ */
+
+#ifndef DECEPTICON_OBS_METRICS_HH
+#define DECEPTICON_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "util/stats.hh"
+
+namespace decepticon::obs {
+
+/** Named-metric store. All member functions are thread-safe. */
+class MetricsRegistry
+{
+  public:
+    /** Add delta to a counter, creating it at zero first. */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set a gauge to the given value, creating it if needed. */
+    void setGauge(const std::string &name, double value);
+
+    /**
+     * Record one sample into a named histogram. The histogram is
+     * created with [lo, hi] x bins on first use; later calls ignore
+     * the shape parameters (first writer wins).
+     */
+    void observe(const std::string &name, double value, double lo = 0.0,
+                 double hi = 1.0, std::size_t bins = 16);
+
+    /** Current counter value (0 if absent). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Current gauge value (0.0 if absent). */
+    double gauge(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const;
+    bool hasGauge(const std::string &name) const;
+
+    /** Copy of a histogram (nullopt if absent). */
+    std::optional<util::Histogram> histogram(const std::string &name) const;
+
+    /** Drop every metric. */
+    void reset();
+
+    /**
+     * One metric per line:
+     *   {"type":"counter","name":"...","value":N}
+     *   {"type":"gauge","name":"...","value":X}
+     *   {"type":"histogram","name":"...","lo":..,"hi":..,
+     *    "counts":[..],"total":N}
+     */
+    void exportJsonl(std::ostream &out) const;
+
+    /**
+     * Single JSON object:
+     *   {"counters":{...},"gauges":{...},"histograms":{...}}
+     * The shape BENCH_*.json snapshots use so follow-up PRs can diff.
+     */
+    void exportJson(std::ostream &out) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, util::Histogram> histograms_;
+};
+
+/** JSON string literal (quotes + escapes) for exporters. */
+std::string jsonQuote(const std::string &s);
+
+/** Finite-safe JSON number rendering (NaN/inf become null). */
+std::string jsonNumber(double v);
+
+} // namespace decepticon::obs
+
+#endif // DECEPTICON_OBS_METRICS_HH

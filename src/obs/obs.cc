@@ -1,0 +1,204 @@
+#include "obs/obs.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace decepticon::obs {
+
+namespace {
+
+std::atomic<bool> g_metricsEnabled{false};
+std::atomic<bool> g_traceEnabled{false};
+
+std::mutex g_configMu;
+ObsConfig g_config;
+Clock *g_testClock = nullptr;
+
+SteadyClock &
+steadyClock()
+{
+    static SteadyClock clock;
+    return clock;
+}
+
+MetricsRegistry &
+registrySingleton()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Tracer &
+tracerSingleton()
+{
+    // The tracer indirects through obs::clock() on every timestamp so
+    // a test clock injected later is picked up.
+    class IndirectClock : public Clock
+    {
+      public:
+        std::uint64_t nowMicros() override { return clock().nowMicros(); }
+    };
+    static IndirectClock indirect;
+    static Tracer tracer(indirect);
+    return tracer;
+}
+
+} // anonymous namespace
+
+ObsConfig
+parseObsSpec(const std::string &spec)
+{
+    ObsConfig config;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string item = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        const std::size_t colon = item.find(':');
+        const std::string key = item.substr(0, colon);
+        const std::string path =
+            colon == std::string::npos ? "" : item.substr(colon + 1);
+        if (key == "metrics") {
+            config.metricsEnabled = true;
+            config.metricsPath = path;
+        } else if (key == "trace") {
+            config.traceEnabled = true;
+            config.tracePath = path;
+        } else if (key == "on" || key == "1" || key == "all") {
+            config.metricsEnabled = true;
+            config.traceEnabled = true;
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return config;
+}
+
+void
+configure(const ObsConfig &config)
+{
+    // Touch the singletons before registering the atexit flush so the
+    // flush runs before their destructors (LIFO teardown order).
+    registrySingleton();
+    tracerSingleton();
+    {
+        std::lock_guard<std::mutex> lock(g_configMu);
+        g_config = config;
+    }
+    g_metricsEnabled.store(config.metricsEnabled,
+                           std::memory_order_relaxed);
+    g_traceEnabled.store(config.traceEnabled, std::memory_order_relaxed);
+    static bool flush_registered = false;
+    if (!flush_registered &&
+        (!config.metricsPath.empty() || !config.tracePath.empty())) {
+        flush_registered = true;
+        std::atexit(flush);
+    }
+}
+
+void
+initFromEnv()
+{
+    const char *spec = std::getenv("DECEPTICON_OBS");
+    if (spec != nullptr && *spec != '\0')
+        configure(parseObsSpec(spec));
+}
+
+void
+flush()
+{
+    ObsConfig config;
+    {
+        std::lock_guard<std::mutex> lock(g_configMu);
+        config = g_config;
+    }
+    if (config.metricsEnabled && !config.metricsPath.empty()) {
+        std::ofstream out(config.metricsPath);
+        if (out)
+            registrySingleton().exportJsonl(out);
+    }
+    if (config.traceEnabled && !config.tracePath.empty()) {
+        std::ofstream out(config.tracePath);
+        if (out)
+            tracerSingleton().exportChromeTrace(out);
+    }
+}
+
+void
+shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(g_configMu);
+        g_config = ObsConfig{};
+    }
+    g_metricsEnabled.store(false, std::memory_order_relaxed);
+    g_traceEnabled.store(false, std::memory_order_relaxed);
+    registrySingleton().reset();
+    tracerSingleton().clear();
+}
+
+bool
+metricsEnabled()
+{
+    return g_metricsEnabled.load(std::memory_order_relaxed);
+}
+
+bool
+traceEnabled()
+{
+    return g_traceEnabled.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+metrics()
+{
+    return registrySingleton();
+}
+
+Tracer *
+tracer()
+{
+    return traceEnabled() ? &tracerSingleton() : nullptr;
+}
+
+Clock &
+clock()
+{
+    std::lock_guard<std::mutex> lock(g_configMu);
+    return g_testClock != nullptr ? *g_testClock : steadyClock();
+}
+
+void
+setClockForTest(Clock *test_clock)
+{
+    std::lock_guard<std::mutex> lock(g_configMu);
+    g_testClock = test_clock;
+}
+
+void
+count(const char *name, std::uint64_t delta)
+{
+    if (metricsEnabled())
+        registrySingleton().add(name, delta);
+}
+
+void
+gaugeSet(const char *name, double value)
+{
+    if (metricsEnabled())
+        registrySingleton().setGauge(name, value);
+}
+
+void
+observe(const char *name, double value, double lo, double hi,
+        std::size_t bins)
+{
+    if (metricsEnabled())
+        registrySingleton().observe(name, value, lo, hi, bins);
+}
+
+} // namespace decepticon::obs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Process-wide telemetry facade. Instrumentation sites call the free
+ * functions here (span / count / gaugeSet / observe); when telemetry
+ * is off — the default — every call is a relaxed atomic load and an
+ * early return, so the attack pipeline pays nothing for being
+ * observable. Enable programmatically with configure(), or from the
+ * environment:
+ *
+ *   DECEPTICON_OBS=trace:/tmp/run.json,metrics:/tmp/run.jsonl
+ *
+ * comma-separated sinks; "trace:<path>" writes a Chrome trace-event
+ * file at exit, "metrics:<path>" a JSONL metrics dump. Bare "trace" /
+ * "metrics" (or "on" for both) enable in-memory collection without a
+ * file sink, which is what tests use.
+ */
+
+#ifndef DECEPTICON_OBS_OBS_HH
+#define DECEPTICON_OBS_OBS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+
+namespace decepticon::obs {
+
+/** Telemetry sink selection. */
+struct ObsConfig
+{
+    bool metricsEnabled = false;
+    bool traceEnabled = false;
+    /** JSONL metrics dump path; empty = in-memory only. */
+    std::string metricsPath;
+    /** Chrome trace-event path; empty = in-memory only. */
+    std::string tracePath;
+};
+
+/**
+ * Parse a DECEPTICON_OBS-style spec ("trace:/p,metrics:/q", "trace",
+ * "metrics", "on", "off"/""). Unknown sink names are ignored.
+ */
+ObsConfig parseObsSpec(const std::string &spec);
+
+/** Apply a configuration (also registers the exit-time flush once). */
+void configure(const ObsConfig &config);
+
+/** configure(parseObsSpec(getenv("DECEPTICON_OBS"))); safe if unset. */
+void initFromEnv();
+
+/** Write the configured trace/metrics files now (no-op without paths). */
+void flush();
+
+/** Disable telemetry and clear all collected data (test teardown). */
+void shutdown();
+
+bool metricsEnabled();
+bool traceEnabled();
+
+/** The process-wide registry (always exists; cold when disabled). */
+MetricsRegistry &metrics();
+
+/** The process-wide tracer, or nullptr when tracing is disabled. */
+Tracer *tracer();
+
+/** The tracer's clock (steady by default; injectable for tests). */
+Clock &clock();
+
+/**
+ * Inject a test clock (not owned; pass nullptr to restore the steady
+ * default). Affects spans started after the call.
+ */
+void setClockForTest(Clock *test_clock);
+
+/** Open an RAII span; inactive (two-word no-op) when tracing is off. */
+inline Span
+span(const char *name, const char *cat = "attack")
+{
+    return Span(tracer(), name, cat);
+}
+
+/** Counter increment; no-op when metrics are off. */
+void count(const char *name, std::uint64_t delta = 1);
+
+/** Gauge store; no-op when metrics are off. */
+void gaugeSet(const char *name, double value);
+
+/** Histogram sample; no-op when metrics are off. */
+void observe(const char *name, double value, double lo = 0.0,
+             double hi = 1.0, std::size_t bins = 16);
+
+} // namespace decepticon::obs
+
+#endif // DECEPTICON_OBS_OBS_HH

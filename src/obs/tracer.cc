@@ -1,0 +1,112 @@
+#include "obs/tracer.hh"
+
+#include <cassert>
+
+#include "obs/metrics.hh"
+
+namespace decepticon::obs {
+
+Tracer::ThreadState &
+Tracer::stateLocked()
+{
+    const auto id = std::this_thread::get_id();
+    auto it = threads_.find(id);
+    if (it == threads_.end()) {
+        ThreadState st;
+        st.tid = static_cast<int>(threads_.size()) + 1;
+        it = threads_.emplace(id, st).first;
+    }
+    return it->second;
+}
+
+std::size_t
+Tracer::beginSpan(std::string name, std::string cat)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ThreadState &st = stateLocked();
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ts = clock_.nowMicros();
+    ev.tid = st.tid;
+    ev.depth = st.depth;
+    ++st.depth;
+    events_.push_back(std::move(ev));
+    return events_.size() - 1;
+}
+
+void
+Tracer::endSpan(std::size_t handle)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(handle < events_.size());
+    TraceEvent &ev = events_[handle];
+    ev.dur = clock_.nowMicros() - ev.ts;
+    ThreadState &st = stateLocked();
+    if (st.depth > 0)
+        --st.depth;
+}
+
+void
+Tracer::annotate(std::size_t handle, const std::string &key,
+                 std::string value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(handle < events_.size());
+    events_[handle].args.emplace_back(key, std::move(value));
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    for (auto &[id, st] : threads_)
+        st.depth = 0;
+}
+
+void
+Tracer::exportChromeTrace(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    out << "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent &ev = events_[i];
+        out << (i ? ",\n" : "\n") << "{\"name\":" << jsonQuote(ev.name)
+            << ",\"cat\":" << jsonQuote(ev.cat)
+            << ",\"ph\":\"X\",\"ts\":" << ev.ts << ",\"dur\":" << ev.dur
+            << ",\"pid\":1,\"tid\":" << ev.tid;
+        if (!ev.args.empty()) {
+            out << ",\"args\":{";
+            for (std::size_t a = 0; a < ev.args.size(); ++a)
+                out << (a ? "," : "") << jsonQuote(ev.args[a].first)
+                    << ":" << jsonQuote(ev.args[a].second);
+            out << "}";
+        }
+        out << "}";
+    }
+    out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+Span::arg(const std::string &key, double value)
+{
+    if (tracer_)
+        tracer_->annotate(handle_, key, jsonNumber(value));
+}
+
+void
+Span::arg(const std::string &key, std::uint64_t value)
+{
+    if (tracer_)
+        tracer_->annotate(handle_, key, std::to_string(value));
+}
+
+} // namespace decepticon::obs

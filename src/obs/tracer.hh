@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Span tracer and Chrome trace-event exporter — the temporal half of
+ * the telemetry layer. A Span is an RAII scope timed by the tracer's
+ * injectable Clock; completed spans export as Chrome trace-event JSON
+ * ("ph":"X" complete events) loadable in chrome://tracing or Perfetto.
+ * Fitting, given the attack itself consumes exactly such timestamp
+ * streams: the reproduction now emits the same artifact it consumes.
+ */
+
+#ifndef DECEPTICON_OBS_TRACER_HH
+#define DECEPTICON_OBS_TRACER_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hh"
+
+namespace decepticon::obs {
+
+/** One completed (or open, dur pending) span. */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    std::uint64_t ts = 0;  ///< start, microseconds
+    std::uint64_t dur = 0; ///< duration, microseconds
+    int tid = 0;           ///< dense per-thread id
+    int depth = 0;         ///< nesting depth at begin (0 = top level)
+    /** Key/value annotations; values are rendered as JSON strings. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Records spans against an injected clock. Thread-safe; spans on
+ * different threads get distinct tids so nesting renders per-thread,
+ * exactly as kernel records do per-stream in the victim's trace.
+ */
+class Tracer
+{
+  public:
+    /** @param clock time source, not owned; must outlive the tracer */
+    explicit Tracer(Clock &clock) : clock_(clock) {}
+
+    /** Open a span; returns its handle (index into events()). */
+    std::size_t beginSpan(std::string name, std::string cat);
+
+    /** Close a span opened by beginSpan. */
+    void endSpan(std::size_t handle);
+
+    /** Attach an annotation to an open or closed span. */
+    void annotate(std::size_t handle, const std::string &key,
+                  std::string value);
+
+    /** Snapshot of all recorded spans, begin order. */
+    std::vector<TraceEvent> events() const;
+
+    /** Drop all recorded spans. */
+    void clear();
+
+    /**
+     * Chrome trace-event JSON:
+     * {"traceEvents":[{"name":..,"cat":..,"ph":"X","ts":..,"dur":..,
+     *   "pid":1,"tid":..,"args":{..}},...],"displayTimeUnit":"ms"}
+     */
+    void exportChromeTrace(std::ostream &out) const;
+
+    Clock &clock() { return clock_; }
+
+  private:
+    /** Dense id + live nesting depth of the calling thread. */
+    struct ThreadState
+    {
+        int tid = 0;
+        int depth = 0;
+    };
+
+    ThreadState &stateLocked(); ///< @pre mu_ held
+
+    mutable std::mutex mu_;
+    Clock &clock_;
+    std::vector<TraceEvent> events_;
+    std::map<std::thread::id, ThreadState> threads_;
+};
+
+/**
+ * RAII span scope. Inactive when default-constructed or given a null
+ * tracer — the disabled-telemetry no-op path: construction is a
+ * pointer store, destruction a null check.
+ */
+class Span
+{
+  public:
+    Span() = default;
+
+    Span(Tracer *tracer, const char *name, const char *cat)
+        : tracer_(tracer),
+          handle_(tracer ? tracer->beginSpan(name, cat) : 0)
+    {
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    Span(Span &&other) noexcept
+        : tracer_(other.tracer_), handle_(other.handle_)
+    {
+        other.tracer_ = nullptr;
+    }
+
+    Span &
+    operator=(Span &&other) noexcept
+    {
+        if (this != &other) {
+            end();
+            tracer_ = other.tracer_;
+            handle_ = other.handle_;
+            other.tracer_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~Span() { end(); }
+
+    /** Annotate; no-op when inactive. */
+    void
+    arg(const std::string &key, std::string value)
+    {
+        if (tracer_)
+            tracer_->annotate(handle_, key, std::move(value));
+    }
+
+    void arg(const std::string &key, double value);
+    void arg(const std::string &key, std::uint64_t value);
+
+    /** Close early (destructor otherwise closes at scope exit). */
+    void
+    end()
+    {
+        if (tracer_) {
+            tracer_->endSpan(handle_);
+            tracer_ = nullptr;
+        }
+    }
+
+    bool active() const { return tracer_ != nullptr; }
+
+  private:
+    Tracer *tracer_ = nullptr;
+    std::size_t handle_ = 0;
+};
+
+// The disabled path must stay near-zero-cost: a Span is two words and
+// its teardown cannot throw or allocate.
+static_assert(sizeof(Span) <= 2 * sizeof(void *),
+              "Span must stay a two-word handle");
+static_assert(std::is_nothrow_destructible_v<Span>,
+              "Span teardown must be noexcept");
+static_assert(std::is_nothrow_move_constructible_v<Span>,
+              "Span moves must be noexcept");
+
+} // namespace decepticon::obs
+
+#endif // DECEPTICON_OBS_TRACER_HH

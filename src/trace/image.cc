@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/obs.hh"
 #include "util/stats.hh"
 
 namespace decepticon::trace {
@@ -12,6 +13,7 @@ tensor::Tensor
 rasterize(const gpusim::KernelTrace &trace, std::size_t resolution)
 {
     assert(resolution >= 8);
+    obs::count("trace.rasterize_calls");
     tensor::Tensor img({resolution, resolution});
     if (trace.records.empty())
         return img;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/obs.hh"
+
 namespace decepticon::trace {
 
 namespace {
@@ -107,6 +109,9 @@ repairTraces(const std::vector<gpusim::KernelTrace> &captures,
 {
     assert(!captures.empty());
 
+    auto sp = obs::span("trace.repair", "trace");
+    sp.arg("captures", static_cast<std::uint64_t>(captures.size()));
+
     std::size_t duplicates_removed = 0;
     std::vector<gpusim::KernelTrace> clean;
     clean.reserve(captures.size());
@@ -184,13 +189,21 @@ repairTraces(const std::vector<gpusim::KernelTrace> &captures,
         out.records.push_back(rec);
     }
 
+    const double aligned_fraction =
+        aligned_sum / static_cast<double>(clean.size());
     if (report != nullptr) {
         report->captures = captures.size();
         report->referenceRecords = out.records.size();
         report->duplicatesRemoved = duplicates_removed;
-        report->meanAlignedFraction =
-            aligned_sum / static_cast<double>(clean.size());
+        report->meanAlignedFraction = aligned_fraction;
     }
+    obs::count("trace.repairs");
+    obs::count("trace.repair.duplicates_removed", duplicates_removed);
+    obs::count("trace.repair.consensus_records", out.records.size());
+    obs::gaugeSet("trace.repair.mean_aligned_fraction",
+                  aligned_fraction);
+    sp.arg("consensus_records",
+           static_cast<std::uint64_t>(out.records.size()));
     return out;
 }
 

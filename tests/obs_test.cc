@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Tests for the telemetry layer: metrics registry semantics and JSONL
+ * round-trips, tracer span nesting under a deterministic fake clock,
+ * Chrome trace-event export validity (parsed back with the bundled
+ * JSON reader), the near-zero-cost disabled path, DECEPTICON_OBS spec
+ * parsing, and the BitProbeChannel::resetStats() regression (a reset
+ * must re-publish zeroed gauges, never leave stale ones).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "extraction/resilient.hh"
+#include "extraction/selective.hh"
+#include "obs/clock.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/tracer.hh"
+#include "util/rng.hh"
+
+namespace dob = decepticon::obs;
+namespace dex = decepticon::extraction;
+
+namespace {
+
+dex::SnapshotOracle
+makeOracle(std::uint64_t seed)
+{
+    decepticon::util::Rng rng(seed);
+    std::vector<std::vector<float>> groups(2);
+    for (std::size_t i = 0; i < 16; ++i)
+        groups[0].push_back(static_cast<float>(rng.gaussian(0.0, 0.2)));
+    for (std::size_t i = 0; i < 4; ++i)
+        groups[1].push_back(static_cast<float>(rng.gaussian(0.0, 0.5)));
+    return dex::SnapshotOracle(std::move(groups));
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesHistograms)
+{
+    dob::MetricsRegistry reg;
+    EXPECT_FALSE(reg.hasCounter("c"));
+    EXPECT_EQ(reg.counter("c"), 0u);
+
+    reg.add("c");
+    reg.add("c", 4);
+    EXPECT_TRUE(reg.hasCounter("c"));
+    EXPECT_EQ(reg.counter("c"), 5u);
+
+    reg.setGauge("g", 1.5);
+    reg.setGauge("g", 2.5); // latest value wins
+    EXPECT_TRUE(reg.hasGauge("g"));
+    EXPECT_DOUBLE_EQ(reg.gauge("g"), 2.5);
+
+    reg.observe("h", 0.25, 0.0, 1.0, 4);
+    reg.observe("h", 0.30, 0.0, 2.0, 99); // shape: first writer wins
+    reg.observe("h", 0.90);
+    const auto h = reg.histogram("h");
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->counts.size(), 4u);
+    EXPECT_EQ(h->total(), 3u);
+    EXPECT_DOUBLE_EQ(h->hi, 1.0);
+
+    reg.reset();
+    EXPECT_FALSE(reg.hasCounter("c"));
+    EXPECT_FALSE(reg.hasGauge("g"));
+    EXPECT_FALSE(reg.histogram("h").has_value());
+}
+
+TEST(MetricsRegistry, ConcurrentCountersSumExactly)
+{
+    dob::MetricsRegistry reg;
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&reg]() {
+            for (int i = 0; i < kIncrements; ++i)
+                reg.add("shared");
+        });
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(reg.counter("shared"),
+              static_cast<std::uint64_t>(kThreads * kIncrements));
+}
+
+TEST(MetricsRegistry, JsonlExportRoundTrips)
+{
+    dob::MetricsRegistry reg;
+    reg.add("bits", 42);
+    reg.setGauge("conf\"idence", 0.875); // quote must be escaped
+    reg.observe("lat", 0.5, 0.0, 1.0, 2);
+    reg.observe("lat", 0.9);
+
+    std::ostringstream oss;
+    reg.exportJsonl(oss);
+
+    std::istringstream lines(oss.str());
+    std::string line;
+    int counters = 0, gauges = 0, histograms = 0;
+    while (std::getline(lines, line)) {
+        dob::json::Value v;
+        std::string err;
+        ASSERT_TRUE(dob::json::parse(line, v, &err)) << err << ": "
+                                                     << line;
+        const auto *type = v.find("type");
+        ASSERT_NE(type, nullptr);
+        if (type->string == "counter") {
+            ++counters;
+            EXPECT_EQ(v.find("name")->string, "bits");
+            EXPECT_DOUBLE_EQ(v.find("value")->number, 42.0);
+        } else if (type->string == "gauge") {
+            ++gauges;
+            EXPECT_EQ(v.find("name")->string, "conf\"idence");
+            EXPECT_DOUBLE_EQ(v.find("value")->number, 0.875);
+        } else if (type->string == "histogram") {
+            ++histograms;
+            EXPECT_EQ(v.find("name")->string, "lat");
+            const auto *counts = v.find("counts");
+            ASSERT_NE(counts, nullptr);
+            ASSERT_TRUE(counts->isArray());
+            EXPECT_EQ(counts->array.size(), 2u);
+            EXPECT_DOUBLE_EQ(v.find("total")->number, 2.0);
+        }
+    }
+    EXPECT_EQ(counters, 1);
+    EXPECT_EQ(gauges, 1);
+    EXPECT_EQ(histograms, 1);
+}
+
+TEST(MetricsRegistry, JsonObjectExportParses)
+{
+    dob::MetricsRegistry reg;
+    reg.add("runs", 3);
+    reg.setGauge("speed", 123.5);
+    std::ostringstream oss;
+    reg.exportJson(oss);
+
+    dob::json::Value v;
+    std::string err;
+    ASSERT_TRUE(dob::json::parse(oss.str(), v, &err)) << err;
+    const auto *counters = v.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->find("runs")->number, 3.0);
+    const auto *gauges = v.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_DOUBLE_EQ(gauges->find("speed")->number, 123.5);
+}
+
+// ---------------------------------------------------------------------
+// Tracer + Span under a deterministic clock
+// ---------------------------------------------------------------------
+
+TEST(Tracer, SpanNestingAndTimingUnderFakeClock)
+{
+    dob::FakeClock clock;
+    dob::Tracer tracer(clock);
+
+    {
+        dob::Span outer(&tracer, "outer", "test");
+        clock.advance(10);
+        {
+            dob::Span inner(&tracer, "inner", "test");
+            clock.advance(5);
+            inner.arg("layer", std::uint64_t{3});
+        }
+        clock.advance(7);
+    }
+
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    // Begin order: outer first.
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].ts, 0u);
+    EXPECT_EQ(events[0].dur, 22u);
+    EXPECT_EQ(events[0].depth, 0);
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[1].ts, 10u);
+    EXPECT_EQ(events[1].dur, 5u);
+    EXPECT_EQ(events[1].depth, 1);
+    // Child contained within the parent.
+    EXPECT_GE(events[1].ts, events[0].ts);
+    EXPECT_LE(events[1].ts + events[1].dur,
+              events[0].ts + events[0].dur);
+    ASSERT_EQ(events[1].args.size(), 1u);
+    EXPECT_EQ(events[1].args[0].first, "layer");
+    EXPECT_EQ(events[1].args[0].second, "3");
+}
+
+TEST(Tracer, ChromeTraceExportIsValidJson)
+{
+    dob::FakeClock clock;
+    dob::Tracer tracer(clock);
+    {
+        dob::Span a(&tracer, "phase_a", "attack");
+        a.arg("note", std::string("hello \"world\""));
+        clock.advance(100);
+    }
+    {
+        dob::Span b(&tracer, "phase_b", "attack");
+        clock.advance(50);
+    }
+
+    std::ostringstream oss;
+    tracer.exportChromeTrace(oss);
+
+    dob::json::Value v;
+    std::string err;
+    ASSERT_TRUE(dob::json::parse(oss.str(), v, &err)) << err;
+    const auto *events = v.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->array.size(), 2u);
+    for (const auto &ev : events->array) {
+        EXPECT_EQ(ev.find("ph")->string, "X");
+        EXPECT_TRUE(ev.find("ts")->isNumber());
+        EXPECT_TRUE(ev.find("dur")->isNumber());
+        EXPECT_DOUBLE_EQ(ev.find("pid")->number, 1.0);
+    }
+    EXPECT_EQ(events->array[0].find("name")->string, "phase_a");
+    EXPECT_DOUBLE_EQ(events->array[0].find("dur")->number, 100.0);
+    EXPECT_EQ(
+        events->array[0].find("args")->find("note")->string,
+        "hello \"world\"");
+    ASSERT_NE(v.find("displayTimeUnit"), nullptr);
+}
+
+TEST(Tracer, SpanMoveTransfersOwnership)
+{
+    dob::FakeClock clock;
+    dob::Tracer tracer(clock);
+    {
+        dob::Span a(&tracer, "moved", "test");
+        clock.advance(3);
+        dob::Span b(std::move(a));
+        EXPECT_FALSE(a.active()); // NOLINT(bugprone-use-after-move)
+        EXPECT_TRUE(b.active());
+        clock.advance(4);
+    }
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].dur, 7u); // closed exactly once, at b's exit
+}
+
+// ---------------------------------------------------------------------
+// Disabled path (the default): no-ops all the way down
+// ---------------------------------------------------------------------
+
+TEST(ObsFacade, DisabledPathIsInert)
+{
+    dob::shutdown(); // known-off state
+    EXPECT_FALSE(dob::metricsEnabled());
+    EXPECT_FALSE(dob::traceEnabled());
+    EXPECT_EQ(dob::tracer(), nullptr);
+
+    // Free functions must not materialize anything while disabled.
+    dob::count("ghost.counter", 9);
+    dob::gaugeSet("ghost.gauge", 1.0);
+    dob::observe("ghost.hist", 0.5);
+    {
+        auto sp = dob::span("ghost.span");
+        EXPECT_FALSE(sp.active());
+        sp.arg("k", std::string("v")); // must be a no-op, not a crash
+    }
+    EXPECT_FALSE(dob::metrics().hasCounter("ghost.counter"));
+    EXPECT_FALSE(dob::metrics().hasGauge("ghost.gauge"));
+    EXPECT_FALSE(dob::metrics().histogram("ghost.hist").has_value());
+
+    // The compile-time contract of the no-op path (mirrors the
+    // static_asserts in tracer.hh).
+    static_assert(sizeof(dob::Span) <= 2 * sizeof(void *),
+                  "Span must stay a two-word handle");
+    static_assert(std::is_nothrow_destructible_v<dob::Span>,
+                  "Span teardown must be noexcept");
+}
+
+TEST(ObsFacade, EnabledFacadeCollectsAndShutdownClears)
+{
+    dob::ObsConfig cfg;
+    cfg.metricsEnabled = true;
+    cfg.traceEnabled = true;
+    dob::configure(cfg);
+
+    dob::FakeClock clock;
+    dob::setClockForTest(&clock);
+
+    dob::count("live.counter", 2);
+    dob::gaugeSet("live.gauge", 0.5);
+    {
+        auto sp = dob::span("live.span", "test");
+        EXPECT_TRUE(sp.active());
+        clock.advance(11);
+    }
+    EXPECT_EQ(dob::metrics().counter("live.counter"), 2u);
+    ASSERT_NE(dob::tracer(), nullptr);
+    const auto events = dob::tracer()->events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "live.span");
+    EXPECT_EQ(events[0].dur, 11u);
+
+    dob::setClockForTest(nullptr);
+    dob::shutdown();
+    EXPECT_FALSE(dob::metricsEnabled());
+    EXPECT_FALSE(dob::metrics().hasCounter("live.counter"));
+    EXPECT_EQ(dob::tracer(), nullptr);
+}
+
+TEST(ObsFacade, ParseObsSpec)
+{
+    const auto both =
+        dob::parseObsSpec("trace:/tmp/a.json,metrics:/tmp/b.jsonl");
+    EXPECT_TRUE(both.traceEnabled);
+    EXPECT_TRUE(both.metricsEnabled);
+    EXPECT_EQ(both.tracePath, "/tmp/a.json");
+    EXPECT_EQ(both.metricsPath, "/tmp/b.jsonl");
+
+    const auto bare = dob::parseObsSpec("metrics");
+    EXPECT_TRUE(bare.metricsEnabled);
+    EXPECT_FALSE(bare.traceEnabled);
+    EXPECT_TRUE(bare.metricsPath.empty());
+
+    const auto on = dob::parseObsSpec("on");
+    EXPECT_TRUE(on.metricsEnabled);
+    EXPECT_TRUE(on.traceEnabled);
+
+    const auto off = dob::parseObsSpec("");
+    EXPECT_FALSE(off.metricsEnabled);
+    EXPECT_FALSE(off.traceEnabled);
+}
+
+// ---------------------------------------------------------------------
+// Satellite regression: resetStats() must re-publish zeroed gauges
+// ---------------------------------------------------------------------
+
+TEST(BitProbeChannel, ResetStatsRepublishesZeroedGauges)
+{
+    dob::ObsConfig cfg;
+    cfg.metricsEnabled = true;
+    dob::configure(cfg);
+
+    const auto oracle = makeOracle(7);
+    dex::BitProbeChannel channel(oracle);
+    for (int bit = 22; bit < 31; ++bit)
+        channel.readBit(0, 1, bit);
+    ASSERT_GT(channel.stats().bitsRead, 0u);
+
+    channel.stats().toMetrics(dob::metrics());
+    EXPECT_GT(dob::metrics().gauge("probe.bits_read"), 0.0);
+    EXPECT_GT(dob::metrics().gauge("probe.hammer_rounds"), 0.0);
+
+    // The regression: resetting the channel ledger must push the
+    // zeroed snapshot through the registry, not leave stale values.
+    channel.resetStats();
+    EXPECT_EQ(channel.stats().bitsRead, 0u);
+    EXPECT_TRUE(dob::metrics().hasGauge("probe.bits_read"));
+    EXPECT_DOUBLE_EQ(dob::metrics().gauge("probe.bits_read"), 0.0);
+    EXPECT_DOUBLE_EQ(dob::metrics().gauge("probe.hammer_rounds"), 0.0);
+
+    dob::shutdown();
+}
+
+TEST(StatStructs, ToMetricsPublishesGauges)
+{
+    dob::MetricsRegistry reg;
+
+    dex::ExtractionStats es;
+    es.totalWeights = 100;
+    es.weightsSkipped = 60;
+    es.bitsChecked = 80;
+    es.fallbackBits = 3;
+    es.toMetrics(reg);
+    EXPECT_DOUBLE_EQ(reg.gauge("extract.total_weights"), 100.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("extract.weights_skipped"), 60.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("extract.fallback_bits"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("extract.weights_skipped_fraction"), 0.6);
+
+    dex::ReliabilityStats rs;
+    rs.logicalBits = 10;
+    rs.physicalReads = 30;
+    rs.toMetrics(reg, "rel");
+    EXPECT_DOUBLE_EQ(reg.gauge("rel.logical_bits"), 10.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("rel.amplification"), 3.0);
+}
+
+} // namespace
