@@ -13,7 +13,9 @@
 #include "extraction/bitprobe.hh"
 #include "extraction/selective.hh"
 #include "fingerprint/cnn.hh"
+#include "fingerprint/dataset.hh"
 #include "gpusim/trace_generator.hh"
+#include "sched/sched.hh"
 #include "tensor/tensor.hh"
 #include "trace/image.hh"
 #include "transformer/classifier.hh"
@@ -22,6 +24,7 @@
 #include "util/rng.hh"
 #include "zoo/finetune_sim.hh"
 #include "zoo/weight_store.hh"
+#include "zoo/zoo.hh"
 
 using namespace decepticon;
 
@@ -137,6 +140,7 @@ BENCHMARK(BM_CnnPredict);
 void
 BM_SelectiveExtraction(benchmark::State &state)
 {
+    sched::setThreads(static_cast<std::size_t>(state.range(0)));
     gpusim::ArchParams arch;
     arch.numLayers = 2;
     arch.hidden = 768;
@@ -155,8 +159,37 @@ BM_SelectiveExtraction(benchmark::State &state)
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) * 10000);
+    sched::setThreads(0);
 }
-BENCHMARK(BM_SelectiveExtraction);
+BENCHMARK(BM_SelectiveExtraction)->Arg(1)->Arg(4);
+
+/**
+ * The headline parallel path: whole-zoo fingerprint dataset
+ * generation at 1 / 2 / 4 scheduler lanes. main() folds the per-lane
+ * real_time gauges into bench.BM_DatasetGeneration.speedup_<N>t so
+ * BENCH_perf_microbench.json carries the scaling curve directly.
+ */
+void
+BM_DatasetGeneration(benchmark::State &state)
+{
+    sched::setThreads(static_cast<std::size_t>(state.range(0)));
+    zoo::ModelZoo zoo = zoo::ModelZoo::buildDefault(11, 4, 8);
+    fingerprint::DatasetOptions opts;
+    opts.imagesPerModel = 2;
+    opts.resolution = 32;
+    opts.seed = 5;
+    std::size_t samples = 0;
+    for (auto _ : state) {
+        auto ds = fingerprint::buildDataset(zoo, opts);
+        samples = ds.samples.size();
+        benchmark::DoNotOptimize(ds.samples.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(samples));
+    sched::setThreads(0);
+}
+BENCHMARK(BM_DatasetGeneration)->Arg(1)->Arg(2)->Arg(4);
 
 /**
  * Console reporter that additionally folds every finished run into
@@ -198,6 +231,25 @@ main(int argc, char **argv)
         return 1;
     MetricsReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    // Distil the per-lane runs into serial/parallel speedup gauges so
+    // the JSON snapshot answers "did threading pay off" in one line.
+    auto &reg = obs::metrics();
+    const auto record_speedup = [&reg](const std::string &bench, int t) {
+        const std::string base = "bench." + bench;
+        const double serial = reg.gauge(base + "/1.real_time");
+        const double par =
+            reg.gauge(base + "/" + std::to_string(t) + ".real_time");
+        if (serial > 0.0 && par > 0.0)
+            reg.setGauge(base + ".speedup_" + std::to_string(t) + "t",
+                         serial / par);
+    };
+    record_speedup("BM_DatasetGeneration", 2);
+    record_speedup("BM_DatasetGeneration", 4);
+    record_speedup("BM_SelectiveExtraction", 4);
+    reg.setGauge("bench.hardware_threads",
+                 static_cast<double>(sched::hardwareThreads()));
+
     std::ofstream out("BENCH_perf_microbench.json");
     obs::metrics().exportJson(out);
     out << "\n";

@@ -24,6 +24,7 @@
  *    clone error.
  */
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,6 +35,7 @@
 #include "fault/fault.hh"
 #include "gpusim/trace_generator.hh"
 #include "obs/metrics.hh"
+#include "sched/sched.hh"
 #include "util/table.hh"
 
 using namespace decepticon;
@@ -161,7 +163,11 @@ main()
                                       bench::fineTuneOptions());
     const auto query = task.sample(40, 4).examples;
 
-    auto run_clone = [&](double flip, bool resilient) {
+    // The victim is passed by reference because extraction exercises
+    // its (non-const) forward caches; parallel sweep points therefore
+    // get their own deep copy below.
+    auto run_clone = [&](transformer::TransformerClassifier &vic,
+                         double flip, bool resilient) {
         extraction::ClonerOptions copts;
         copts.policy.maxBitsPerWeight = 4;
         copts.policy.baseDist = 0.015;
@@ -181,48 +187,99 @@ main()
         if (resilient)
             copts.resilience = extraction::ResilienceOptions{};
         auto result = extraction::ModelCloner::extract(
-            *victim, *pretrained, query, copts);
+            vic, *pretrained, query, copts);
         CloneOutcome out;
-        out.error = bench::meanAbsParamDiff(*victim, *result.clone);
+        out.error = bench::meanAbsParamDiff(vic, *result.clone);
         out.stats = result.extractionStats;
         out.probe = result.probeStats;
         out.faults = result.faultCounters;
         return out;
     };
 
-    const CloneOutcome clean_run = run_clone(0.0, false);
+    const CloneOutcome clean_run = run_clone(*victim, 0.0, false);
+
+    // The four (flip rate, resilience) sweep points are independent
+    // runs, so they double as the driver-level determinism check: run
+    // them serially on a 1-lane pool, re-run them in parallel with a
+    // per-point victim copy, and require identical outcomes.
+    struct Combo
+    {
+        double flip;
+        bool resilient;
+    };
+    const std::vector<Combo> combos = {
+        {1e-3, false}, {1e-3, true}, {1e-2, false}, {1e-2, true}};
+
+    sched::setThreads(1);
+    std::vector<CloneOutcome> serial_runs;
+    const auto serial_t0 = std::chrono::steady_clock::now();
+    for (const Combo &c : combos)
+        serial_runs.push_back(run_clone(*victim, c.flip, c.resilient));
+    const double serial_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      serial_t0)
+            .count();
+
+    // At least 4 lanes so the equivalence check crosses real worker
+    // threads even on a single-core host (where the env default is 1).
+    sched::setThreads(std::max<std::size_t>(4, sched::hardwareThreads()));
+    std::vector<CloneOutcome> runs(combos.size());
+    const auto par_t0 = std::chrono::steady_clock::now();
+    sched::parallelFor(combos.size(), 1, [&](std::size_t i) {
+        transformer::TransformerClassifier victim_copy(*victim);
+        runs[i] =
+            run_clone(victim_copy, combos[i].flip, combos[i].resilient);
+    });
+    const double parallel_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      par_t0)
+            .count();
+    const std::size_t sweep_lanes = sched::configuredThreads();
+    sched::setThreads(0); // back to the environment default
+
+    bool sweep_par_ok = true;
+    for (std::size_t i = 0; i < combos.size(); ++i)
+        sweep_par_ok = sweep_par_ok &&
+                       sameStats(runs[i].stats, serial_runs[i].stats) &&
+                       runs[i].error == serial_runs[i].error &&
+                       runs[i].probe.hammerRounds ==
+                           serial_runs[i].probe.hammerRounds &&
+                       runs[i].faults.bitFlips ==
+                           serial_runs[i].faults.bitFlips &&
+                       runs[i].faults.probeFailures ==
+                           serial_runs[i].faults.probeFailures;
+
     util::Table tb({"flip rate", "resilience", "clone error",
                     "error vs clean", "hammer rounds", "rounds vs clean",
                     "fallback bits"});
     double err_res_low = 0.0, err_res_high = 0.0, err_raw_high = 0.0;
-    for (double flip : {1e-3, 1e-2}) {
-        for (bool resilient : {false, true}) {
-            const CloneOutcome out = run_clone(flip, resilient);
-            if (resilient && flip == 1e-3)
-                err_res_low = out.error;
-            if (resilient && flip == 1e-2)
-                err_res_high = out.error;
-            if (!resilient && flip == 1e-2)
-                err_raw_high = out.error;
-            const std::string label = point_label(
-                "flip", flip, resilient ? "res_on" : "res_off");
-            out.stats.toMetrics(bench_reg, label + ".extract");
-            out.probe.toMetrics(bench_reg, label + ".probe");
-            bench_reg.setGauge(label + ".clone_error", out.error);
-            bench_reg.setGauge(label + ".error_vs_clean",
-                               out.error / clean_run.error);
-            tb.row()
-                .cell(flip, 4)
-                .cell(resilient ? "on" : "off")
-                .cell(out.error, 6)
-                .cell(out.error / clean_run.error, 2)
-                .cell(out.probe.hammerRounds)
-                .cell(static_cast<double>(out.probe.hammerRounds) /
-                          static_cast<double>(
-                              clean_run.probe.hammerRounds),
-                      2)
-                .cell(out.stats.fallbackBits);
-        }
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+        const double flip = combos[i].flip;
+        const bool resilient = combos[i].resilient;
+        const CloneOutcome &out = runs[i];
+        if (resilient && flip == 1e-3)
+            err_res_low = out.error;
+        if (resilient && flip == 1e-2)
+            err_res_high = out.error;
+        if (!resilient && flip == 1e-2)
+            err_raw_high = out.error;
+        const std::string label =
+            point_label("flip", flip, resilient ? "res_on" : "res_off");
+        out.stats.toMetrics(bench_reg, label + ".extract");
+        out.probe.toMetrics(bench_reg, label + ".probe");
+        bench_reg.setGauge(label + ".clone_error", out.error);
+        bench_reg.setGauge(label + ".error_vs_clean",
+                           out.error / clean_run.error);
+        tb.row()
+            .cell(flip, 4)
+            .cell(resilient ? "on" : "off")
+            .cell(out.error, 6)
+            .cell(out.error / clean_run.error, 2)
+            .cell(out.probe.hammerRounds)
+            .cell(static_cast<double>(out.probe.hammerRounds) /
+                      static_cast<double>(clean_run.probe.hammerRounds),
+                  2)
+            .cell(out.stats.fallbackBits);
     }
     util::printBanner(std::cout,
                       "Level 2: clone error vs probe-fault rate "
@@ -230,9 +287,14 @@ main()
     tb.printAscii(std::cout);
     std::cout << "fault-free clone error: " << clean_run.error << "\n";
 
+    std::cout << "parallel sweep == serial sweep: "
+              << (sweep_par_ok ? "ok" : "FAIL") << " (serial "
+              << serial_seconds << " s, parallel " << parallel_seconds
+              << " s on " << sweep_lanes << " lanes)\n";
+
     // Determinism: identical FaultSpec seeds must replay identically.
-    const CloneOutcome rep_a = run_clone(1e-3, true);
-    const CloneOutcome rep_b = run_clone(1e-3, true);
+    const CloneOutcome rep_a = run_clone(*victim, 1e-3, true);
+    const CloneOutcome rep_b = run_clone(*victim, 1e-3, true);
     const bool det_ok =
         sameStats(rep_a.stats, rep_b.stats) &&
         rep_a.faults.bitFlips == rep_b.faults.bitFlips &&
@@ -255,6 +317,18 @@ main()
         std::cout << "FAIL: disabling resilience did not degrade the "
                      "clone\n";
 
+    if (!sweep_par_ok)
+        std::cout << "FAIL: parallel sweep outcomes diverged from the "
+                     "serial reference\n";
+
+    bench_reg.setGauge("sweep.partb.serial_seconds", serial_seconds);
+    bench_reg.setGauge("sweep.partb.parallel_seconds", parallel_seconds);
+    bench_reg.setGauge("sweep.partb.speedup",
+                       parallel_seconds > 0.0
+                           ? serial_seconds / parallel_seconds
+                           : 0.0);
+    bench_reg.setGauge("sweep.partb.lanes",
+                       static_cast<double>(sweep_lanes));
     bench_reg.setGauge("sweep.clean_clone_error", clean_run.error);
     bench_reg.setGauge("sweep.clean_extractor_acc", clean_acc);
     clean_run.stats.toMetrics(bench_reg, "sweep.clean.extract");
@@ -265,5 +339,7 @@ main()
         out << "\n";
     }
     std::cout << "wrote BENCH_robust_extraction_sweep.json\n";
-    return det_ok && id_ok && error_ok && degrade_ok ? 0 : 1;
+    return det_ok && id_ok && error_ok && degrade_ok && sweep_par_ok
+               ? 0
+               : 1;
 }

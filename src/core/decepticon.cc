@@ -5,6 +5,7 @@
 
 #include "gpusim/trace_generator.hh"
 #include "obs/obs.hh"
+#include "sched/sched.hh"
 #include "trace/repair.hh"
 #include "util/rng.hh"
 
@@ -49,16 +50,38 @@ Decepticon::trainExtractor(const zoo::ModelZoo &candidate_pool)
     // decodes it with the lowest layer error rate.
     seqPredictors_.assign(classNames_.size(),
                           fingerprint::KernelSequencePredictor{});
+    // Draw the per-trace seeds serially in the exact order the legacy
+    // nested loop did, then capture all traces in parallel: each job
+    // fills its own slot, so the training sets are scheduling-
+    // independent bit-for-bit.
+    struct TraceJob
+    {
+        const zoo::ModelIdentity *model;
+        std::uint64_t runSeed;
+    };
+    std::vector<TraceJob> jobs;
+    std::vector<std::pair<std::size_t, std::size_t>> class_ranges;
     util::Rng trace_rng(opts_.seed ^ 0x5e9ULL);
     for (std::size_t c = 0; c < classNames_.size(); ++c) {
-        std::vector<gpusim::KernelTrace> traces;
+        const std::size_t begin = jobs.size();
         for (const auto &model : candidate_pool.models()) {
             if (model.pretrainedName != classNames_[c])
                 continue;
-            const gpusim::TraceGenerator gen(model.signature);
-            traces.push_back(gen.generate(model.arch, trace_rng.nextU64()));
-            traces.push_back(gen.generate(model.arch, trace_rng.nextU64()));
+            jobs.push_back({&model, trace_rng.nextU64()});
+            jobs.push_back({&model, trace_rng.nextU64()});
         }
+        class_ranges.emplace_back(begin, jobs.size());
+    }
+    std::vector<gpusim::KernelTrace> all_traces(jobs.size());
+    sched::parallelFor(jobs.size(), 1, [&](std::size_t i) {
+        const gpusim::TraceGenerator gen(jobs[i].model->signature);
+        all_traces[i] = gen.generate(jobs[i].model->arch, jobs[i].runSeed);
+    });
+    for (std::size_t c = 0; c < classNames_.size(); ++c) {
+        const auto [begin, end] = class_ranges[c];
+        std::vector<gpusim::KernelTrace> traces(
+            all_traces.begin() + static_cast<long>(begin),
+            all_traces.begin() + static_cast<long>(end));
         seqPredictors_[c].train(traces);
     }
     return cnn_->evaluate(test);
@@ -166,13 +189,26 @@ Decepticon::identifyResilient(
 
     // CNN quorum: the consensus trace and every raw capture each cast
     // one vote, so a single badly-mangled capture cannot swing the
-    // answer the way it could swing a single classification.
-    std::vector<std::size_t> cnn_votes(classNames_.size(), 0);
-    ++cnn_votes[static_cast<std::size_t>(cnn_->topK(
-        image_of(repaired), 1)[0])];
+    // answer the way it could swing a single classification. Both the
+    // rasterization and the per-image classifications are pure per
+    // voter, so the voters run in parallel; the vote tally is a
+    // commutative sum and therefore scheduling-independent.
+    std::vector<const gpusim::KernelTrace *> voters;
+    voters.push_back(&repaired);
     for (const auto &cap : captures)
-        ++cnn_votes[static_cast<std::size_t>(cnn_->topK(
-            image_of(cap), 1)[0])];
+        voters.push_back(&cap);
+    std::vector<tensor::Tensor> voter_images(voters.size());
+    sched::parallelFor(voters.size(), 1, [&](std::size_t i) {
+        voter_images[i] = image_of(*voters[i]);
+    });
+    std::vector<const tensor::Tensor *> voter_image_ptrs;
+    voter_image_ptrs.reserve(voter_images.size());
+    for (const auto &img : voter_images)
+        voter_image_ptrs.push_back(&img);
+
+    std::vector<std::size_t> cnn_votes(classNames_.size(), 0);
+    for (int p : fingerprint::predictBatch(*cnn_, voter_image_ptrs))
+        ++cnn_votes[static_cast<std::size_t>(p)];
     double cnn_share = 0.0;
     const std::size_t cnn_winner = plurality(cnn_votes, cnn_share);
     result.quorumAgreement = cnn_share;
@@ -191,9 +227,12 @@ Decepticon::identifyResilient(
     result.usedKnnFallback = true;
     obs::count("level1.knn_fallbacks");
     std::vector<std::size_t> knn_votes(classNames_.size(), 0);
-    ++knn_votes[static_cast<std::size_t>(knn_.predict(image_of(repaired)))];
-    for (const auto &cap : captures)
-        ++knn_votes[static_cast<std::size_t>(knn_.predict(image_of(cap)))];
+    std::vector<int> knn_preds(voter_images.size());
+    sched::parallelFor(voter_images.size(), 1, [&](std::size_t i) {
+        knn_preds[i] = knn_.predict(voter_images[i]);
+    });
+    for (int p : knn_preds)
+        ++knn_votes[static_cast<std::size_t>(p)];
     double knn_share = 0.0;
     const std::size_t knn_winner = plurality(knn_votes, knn_share);
     if (knn_share >= ropts.quorumThreshold) {

@@ -130,18 +130,19 @@ ModelCloner::extract(transformer::TransformerClassifier &victim,
     BitProbeChannel &channel = prober ? *prober : physical;
 
     // Victim predictions on the query set (black-box API access).
-    std::vector<int> victim_preds;
-    victim_preds.reserve(query_set.size());
+    // Batched onto the sched pool: each prediction is independent, so
+    // the agreement checks after every extracted layer parallelize.
+    std::vector<std::vector<int>> query_tokens;
+    query_tokens.reserve(query_set.size());
     for (const auto &ex : query_set)
-        victim_preds.push_back(victim.predict(ex.tokens));
+        query_tokens.push_back(ex.tokens);
+    const std::vector<int> victim_preds =
+        transformer::predictBatch(victim, query_tokens);
     result.victimQueries += query_set.size();
 
     auto agreement_now = [&]() {
-        std::vector<int> clone_preds;
-        clone_preds.reserve(query_set.size());
-        for (const auto &ex : query_set)
-            clone_preds.push_back(clone->predict(ex.tokens));
-        return Trainer::agreement(clone_preds, victim_preds);
+        return Trainer::agreement(
+            transformer::predictBatch(*clone, query_tokens), victim_preds);
     };
 
     // Step 1: full extraction of the baseline-less task head.

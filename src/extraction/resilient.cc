@@ -6,6 +6,7 @@
 #include "extraction/ieee.hh"
 #include "extraction/selective.hh"
 #include "obs/metrics.hh"
+#include "obs/obs.hh"
 
 namespace decepticon::extraction {
 
@@ -83,6 +84,8 @@ RetryingProber::tryReadBit(std::size_t layer, std::size_t index,
 
     ++reliability_.logicalBits;
     reliability_.physicalReads += static_cast<std::size_t>(attempts);
+    obs::count("resilient.vote_rounds",
+               static_cast<std::size_t>(attempts));
     const int successes = ones + zeros;
     if (successes > 1)
         reliability_.voteReads +=

@@ -6,6 +6,7 @@
 
 #include "nn/optim.hh"
 #include "obs/obs.hh"
+#include "sched/sched.hh"
 #include "util/rng.hh"
 
 namespace decepticon::fingerprint {
@@ -187,13 +188,32 @@ FingerprintCnn::evaluate(const FingerprintDataset &data)
 {
     if (data.samples.empty())
         return 0.0;
+    std::vector<const tensor::Tensor *> images;
+    images.reserve(data.samples.size());
+    for (const auto &s : data.samples)
+        images.push_back(&s.image);
+    const std::vector<int> preds = predictBatch(*this, images);
     std::size_t correct = 0;
-    for (const auto &s : data.samples) {
-        if (predict(s.image) == s.label)
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == data.samples[i].label)
             ++correct;
     }
     return static_cast<double>(correct) /
            static_cast<double>(data.samples.size());
+}
+
+std::vector<int>
+predictBatch(const FingerprintCnn &cnn,
+             const std::vector<const tensor::Tensor *> &images)
+{
+    std::vector<int> out(images.size());
+    sched::parallelForRange(
+        images.size(), 0, [&](std::size_t begin, std::size_t end) {
+            FingerprintCnn local(cnn); // private forward caches
+            for (std::size_t i = begin; i < end; ++i)
+                out[i] = local.predict(*images[i]);
+        });
+    return out;
 }
 
 } // namespace decepticon::fingerprint

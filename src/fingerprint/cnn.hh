@@ -86,6 +86,17 @@ class FingerprintCnn
     std::vector<std::size_t> convOutShape_; // shape after pool2
 };
 
+/**
+ * Argmax class for each image, computed in parallel on the sched
+ * pool. Each worker chunk predicts on its own copy of the CNN (the
+ * forward caches make predict() non-const, but the prediction itself
+ * is a pure function of the weights), so the result vector is
+ * identical to a serial predict() loop at any thread count.
+ */
+std::vector<int>
+predictBatch(const FingerprintCnn &cnn,
+             const std::vector<const tensor::Tensor *> &images);
+
 } // namespace decepticon::fingerprint
 
 #endif // DECEPTICON_FINGERPRINT_CNN_HH

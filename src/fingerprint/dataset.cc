@@ -6,6 +6,7 @@
 
 #include "fingerprint/boundary.hh"
 #include "gpusim/trace_generator.hh"
+#include "sched/sched.hh"
 #include "trace/image.hh"
 #include "util/rng.hh"
 
@@ -71,21 +72,34 @@ buildDataset(const zoo::ModelZoo &zoo, const DatasetOptions &opts)
     for (std::size_t i = 0; i < lineages.size(); ++i)
         label_of[lineages[i]] = static_cast<int>(i);
 
+    // Draw every run seed up front, in the exact order the serial loop
+    // would: the per-image streams (and thus the dataset bytes) are
+    // independent of how the rasterization work is scheduled below.
+    struct Job
+    {
+        const zoo::ModelIdentity *model;
+        int label;
+        std::uint64_t runSeed;
+    };
+    std::vector<Job> jobs;
     util::Rng rng(opts.seed);
     for (const auto &model : zoo.models()) {
         auto it = label_of.find(model.pretrainedName);
         if (it == label_of.end())
             continue; // lineage outside the requested subset
-        for (std::size_t k = 0; k < opts.imagesPerModel; ++k) {
-            FingerprintSample sample;
-            sample.label = it->second;
-            sample.modelName = model.name;
-            sample.image = fingerprintImage(model, opts.resolution,
-                                            rng.nextU64(),
-                                            opts.cropIrregular);
-            ds.samples.push_back(std::move(sample));
-        }
+        for (std::size_t k = 0; k < opts.imagesPerModel; ++k)
+            jobs.push_back({&model, it->second, rng.nextU64()});
     }
+
+    ds.samples.resize(jobs.size());
+    sched::parallelFor(jobs.size(), 1, [&](std::size_t i) {
+        const Job &job = jobs[i];
+        FingerprintSample &sample = ds.samples[i];
+        sample.label = job.label;
+        sample.modelName = job.model->name;
+        sample.image = fingerprintImage(*job.model, opts.resolution,
+                                        job.runSeed, opts.cropIrregular);
+    });
     return ds;
 }
 

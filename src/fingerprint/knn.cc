@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 #include "obs/obs.hh"
+#include "sched/sched.hh"
 #include "trace/image.hh"
 
 namespace decepticon::fingerprint {
@@ -51,11 +53,18 @@ NearestNeighborClassifier::evaluate(const FingerprintDataset &data) const
 {
     if (data.samples.empty())
         return 0.0;
+    // predict() is const and each index owns its slot, so the chunked
+    // partial counts merge to the same total at any thread count.
+    const std::size_t n = data.samples.size();
+    std::vector<std::uint8_t> hit(n, 0);
+    sched::parallelFor(n, 0, [&](std::size_t i) {
+        const auto &s = data.samples[i];
+        hit[i] = predict(s.image) == s.label ? 1 : 0;
+    });
     std::size_t correct = 0;
-    for (const auto &s : data.samples)
-        correct += predict(s.image) == s.label ? 1 : 0;
-    return static_cast<double>(correct) /
-           static_cast<double>(data.samples.size());
+    for (std::size_t i = 0; i < n; ++i)
+        correct += hit[i];
+    return static_cast<double>(correct) / static_cast<double>(n);
 }
 
 } // namespace decepticon::fingerprint

@@ -66,6 +66,16 @@ class TraceGenerator
                          std::uint64_t run_seed) const;
 
     /**
+     * Capture one trace per run seed, in parallel on the sched pool.
+     * generate() is a pure function of (template, arch, seed), so the
+     * batch equals the serial loop bit-for-bit at any thread count;
+     * out[i] corresponds to run_seeds[i].
+     */
+    std::vector<KernelTrace>
+    generateMany(const ArchParams &arch,
+                 const std::vector<std::uint64_t> &run_seeds) const;
+
+    /**
      * Synthesize a trace under the paper's proposed countermeasure
      * (Sec. 8): the runtime randomizes kernel/library selection per
      * invocation so the schedule stops being a stable fingerprint.

@@ -10,13 +10,14 @@ Tracer::ThreadState &
 Tracer::stateLocked()
 {
     const auto id = std::this_thread::get_id();
-    auto it = threads_.find(id);
-    if (it == threads_.end()) {
+    auto it = threadTids_.find(id);
+    if (it == threadTids_.end()) {
         ThreadState st;
-        st.tid = static_cast<int>(threads_.size()) + 1;
-        it = threads_.emplace(id, st).first;
+        st.tid = static_cast<int>(states_.size()) + 1;
+        states_.push_back(st);
+        it = threadTids_.emplace(id, st.tid).first;
     }
-    return it->second;
+    return states_[static_cast<std::size_t>(it->second) - 1];
 }
 
 std::size_t
@@ -42,7 +43,11 @@ Tracer::endSpan(std::size_t handle)
     assert(handle < events_.size());
     TraceEvent &ev = events_[handle];
     ev.dur = clock_.nowMicros() - ev.ts;
-    ThreadState &st = stateLocked();
+    // Unwind the nesting depth of the thread the span BEGAN on (its
+    // tid is in the event), not of the caller: a moved Span may be
+    // closed from another thread, and decrementing the closer's depth
+    // would corrupt both threads' nesting.
+    ThreadState &st = states_[static_cast<std::size_t>(ev.tid) - 1];
     if (st.depth > 0)
         --st.depth;
 }
@@ -68,7 +73,7 @@ Tracer::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     events_.clear();
-    for (auto &[id, st] : threads_)
+    for (auto &st : states_)
         st.depth = 0;
 }
 

@@ -74,19 +74,29 @@ class Tracer
     Clock &clock() { return clock_; }
 
   private:
-    /** Dense id + live nesting depth of the calling thread. */
+    /** Dense id + live nesting depth of one traced thread. */
     struct ThreadState
     {
         int tid = 0;
         int depth = 0;
     };
 
-    ThreadState &stateLocked(); ///< @pre mu_ held
+    /**
+     * State of the calling thread. @pre mu_ held
+     *
+     * States live in states_ (indexed by dense tid - 1) rather than in
+     * the id map directly, so endSpan can decrement the depth of the
+     * thread that *began* the span (recorded in the event's tid) even
+     * when a different thread — e.g. the pool caller joining a worker's
+     * span — closes it.
+     */
+    ThreadState &stateLocked();
 
     mutable std::mutex mu_;
     Clock &clock_;
     std::vector<TraceEvent> events_;
-    std::map<std::thread::id, ThreadState> threads_;
+    std::vector<ThreadState> states_;           ///< states_[tid - 1]
+    std::map<std::thread::id, int> threadTids_; ///< os id -> dense tid
 };
 
 /**

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Deterministic parallel execution engine. A fixed-size work-stealing
+ * ThreadPool with a blocking parallelFor primitive drives every
+ * embarrassingly parallel stage of the attack pipeline (per-model
+ * trace capture, fingerprint dataset generation, batch inference,
+ * extraction planning/decoding, robustness sweeps).
+ *
+ * The determinism contract (DESIGN.md §9): results must be
+ * bit-identical regardless of thread count or scheduling order.
+ * parallelFor guarantees its half — the index space is partitioned
+ * into chunks that depend only on (n, grain), never on the pool size
+ * or timing — and callers guarantee theirs:
+ *
+ *  - each index writes only its own output slot;
+ *  - any randomness is derived per task, either from a seed schedule
+ *    drawn serially before the loop (preserving a legacy stream) or
+ *    via util::Rng::split(task_index) (a pure function of generator
+ *    state and index, no draw-order dependence);
+ *  - reductions combine per-chunk partials in chunk order.
+ *
+ * Pool size comes from DECEPTICON_THREADS (default: hardware
+ * concurrency). Size 1 is the exact legacy serial path: no worker
+ * threads exist and parallelFor degenerates to the plain loop.
+ */
+
+#ifndef DECEPTICON_SCHED_SCHED_HH
+#define DECEPTICON_SCHED_SCHED_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace decepticon::sched {
+
+/** Loop body over one index. */
+using IndexFn = std::function<void(std::size_t)>;
+
+/** Loop body over a contiguous index range [begin, end). */
+using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+/** Hardware concurrency, never reported as 0. */
+std::size_t hardwareThreads();
+
+/**
+ * Parse a DECEPTICON_THREADS-style spec. Null, empty, zero, or
+ * unparseable specs resolve to hardwareThreads(); anything else is
+ * clamped to [1, 512].
+ */
+std::size_t threadsFromSpec(const char *spec);
+
+/**
+ * Fixed-size work-stealing pool. Each worker owns a deque; tasks are
+ * submitted round-robin; an idle worker pops its own deque from the
+ * front and steals from the back of a victim's. Instrumented with the
+ * obs layer: "sched.tasks" / "sched.steals" counters, a
+ * "sched.queue_depth" gauge, and a per-task span when tracing is on.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads total lanes; 1 = serial, no workers spawned. */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Joins all workers. @pre no parallelFor is in flight. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of lanes (worker threads, or 1 for the serial pool). */
+    std::size_t size() const { return size_; }
+
+    /**
+     * Run fn(begin, end) over a chunked partition of [0, n) and block
+     * until every chunk finished. With an explicit grain, chunk
+     * boundaries are a pure function of (n, grain) — never of the pool
+     * size or whether chunks run inline — so a conforming body (see
+     * file header) produces identical results at any thread count,
+     * including chunk-ordered reductions.
+     *
+     * @param grain max indices per chunk; 0 picks a default that
+     *        yields ~4 chunks per lane (boundaries then depend on the
+     *        pool size, so grain 0 is only for bodies whose chunking
+     *        is unobservable — each index filling its own slot). When
+     *        n <= grain, the pool is serial, or the caller is itself a
+     *        pool worker (nested parallelism), chunks run inline on
+     *        the caller.
+     *
+     * The first exception thrown by any chunk is rethrown on the
+     * caller after all chunks have completed.
+     */
+    void parallelForRange(std::size_t n, std::size_t grain,
+                          const RangeFn &fn);
+
+    /** parallelForRange with a per-index body. */
+    void parallelFor(std::size_t n, std::size_t grain, const IndexFn &fn);
+
+    /** Tasks executed by pool workers (lifetime total). */
+    std::uint64_t taskCount() const
+    {
+        return tasksExecuted_.load(std::memory_order_relaxed);
+    }
+
+    /** Tasks a worker obtained from another worker's deque. */
+    std::uint64_t stealCount() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+    /** Whether the calling thread is a worker of any ThreadPool. */
+    static bool inWorker();
+
+  private:
+    using Task = std::function<void()>;
+
+    /** One worker's deque (own pops at front, thieves at back). */
+    struct Shard
+    {
+        std::mutex mu;
+        std::deque<Task> q;
+    };
+
+    void submit(Task task);
+    bool popOrSteal(std::size_t self, Task &out);
+    void workerLoop(std::size_t self);
+
+    std::size_t size_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> workers_;
+
+    std::mutex wakeMu_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+
+    std::atomic<std::size_t> nextShard_{0};
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<std::uint64_t> tasksExecuted_{0};
+    std::atomic<std::uint64_t> steals_{0};
+};
+
+/**
+ * The process-wide pool, created on first use with
+ * threadsFromSpec(getenv("DECEPTICON_THREADS")) lanes.
+ */
+ThreadPool &pool();
+
+/** Lanes of the global pool (creates it on first call). */
+std::size_t configuredThreads();
+
+/**
+ * Rebuild the global pool with n lanes (0 = re-read the environment).
+ * Test/bench hook for exercising several thread counts in one
+ * process. @pre no parallelFor is in flight on the global pool.
+ */
+void setThreads(std::size_t n);
+
+/** parallelFor on the global pool. */
+void parallelFor(std::size_t n, std::size_t grain, const IndexFn &fn);
+
+/** parallelForRange on the global pool. */
+void parallelForRange(std::size_t n, std::size_t grain, const RangeFn &fn);
+
+} // namespace decepticon::sched
+
+#endif // DECEPTICON_SCHED_SCHED_HH

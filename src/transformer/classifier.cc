@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "sched/sched.hh"
+
 namespace decepticon::transformer {
 
 TransformerClassifier::TransformerClassifier(const TransformerConfig &cfg,
@@ -195,6 +197,20 @@ TransformerClassifier::resetHead(std::size_t num_classes, std::uint64_t seed)
     util::Rng rng(seed);
     head_ = std::make_unique<nn::Linear>("head", cfg_.hidden, num_classes,
                                          rng);
+}
+
+std::vector<int>
+predictBatch(const TransformerClassifier &model,
+             const std::vector<std::vector<int>> &sequences)
+{
+    std::vector<int> out(sequences.size());
+    sched::parallelForRange(
+        sequences.size(), 0, [&](std::size_t begin, std::size_t end) {
+            TransformerClassifier local(model); // private forward caches
+            for (std::size_t i = begin; i < end; ++i)
+                out[i] = local.predict(sequences[i]);
+        });
+    return out;
 }
 
 } // namespace decepticon::transformer

@@ -111,6 +111,17 @@ class TransformerClassifier
     nn::SoftmaxCrossEntropy loss_;
 };
 
+/**
+ * Argmax class for each sequence, computed in parallel on the sched
+ * pool. Each worker chunk predicts on its own deep copy of the model
+ * (forward caches make predict() non-const, but the prediction is a
+ * pure function of the weights), so the result vector is identical to
+ * a serial predict() loop at any thread count.
+ */
+std::vector<int>
+predictBatch(const TransformerClassifier &model,
+             const std::vector<std::vector<int>> &sequences);
+
 } // namespace decepticon::transformer
 
 #endif // DECEPTICON_TRANSFORMER_CLASSIFIER_HH

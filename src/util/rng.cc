@@ -118,6 +118,16 @@ Rng::sampleWithoutReplacement(std::size_t n, std::size_t k)
 }
 
 Rng
+Rng::split(std::uint64_t tag) const
+{
+    // Pure mix of the full current state with the tag; nearby tags
+    // land in unrelated SplitMix64 streams.
+    SplitMix64 sm(s_[0] ^ rotl(s_[1], 17) ^ rotl(s_[2], 31) ^ s_[3] ^
+                  (tag + 0x9e3779b97f4a7c15ULL) * 0xbf58476d1ce4e5b9ULL);
+    return Rng(sm.next());
+}
+
+Rng
 Rng::fork(std::uint64_t tag)
 {
     // Mix the tag into a fresh seed drawn from this stream.

@@ -82,8 +82,19 @@ class Rng
         }
     }
 
-    /** Derive a child generator; children of distinct tags differ. */
+    /** Derive a child generator; children of distinct tags differ.
+     *  Advances this generator's state. */
     Rng fork(std::uint64_t tag);
+
+    /**
+     * Derive an independent child generator keyed by tag WITHOUT
+     * advancing this generator's state: split(t) is a pure function
+     * of (current state, t). This is the seed-derivation primitive of
+     * the parallel execution engine (sched): a task indexed i draws
+     * from split(i), so its stream is identical no matter how many
+     * threads run the tasks or in which order they are scheduled.
+     */
+    Rng split(std::uint64_t tag) const;
 
   private:
     std::uint64_t s_[4];

@@ -116,6 +116,81 @@ TEST(Boundary, CropKeepsOnlyPeriodicRegion)
     EXPECT_DOUBLE_EQ(cropped.records.front().tStart, 0.0);
 }
 
+TEST(Boundary, RegionsAndCoverageConsistent)
+{
+    const dg::TraceGenerator gen(pytorchSig());
+    const auto trace = gen.generate(arch(12, 768), 7);
+    const auto res = df::detectLayerBoundaries(trace);
+    ASSERT_TRUE(res.found());
+
+    // Regions are non-empty, in-bounds, ordered, and their record
+    // count reproduces the reported coverage fraction.
+    ASSERT_FALSE(res.regions.empty());
+    std::size_t covered = 0;
+    std::size_t prev_end = 0;
+    for (const auto &[begin, end] : res.regions) {
+        EXPECT_LT(begin, end);
+        EXPECT_LE(end, trace.records.size());
+        EXPECT_GE(begin, prev_end);
+        covered += end - begin;
+        prev_end = end;
+    }
+    EXPECT_DOUBLE_EQ(res.coverage,
+                     static_cast<double>(covered) /
+                         static_cast<double>(trace.records.size()));
+    EXPECT_GT(res.coverage, 0.5); // encoders dominate a BERT trace
+    EXPECT_LE(res.coverage, 1.0);
+}
+
+TEST(Boundary, FoundRequiresAtLeastTwoRepetitions)
+{
+    // A default-constructed result is not a detection; neither is a
+    // period with a single repetition (one "layer" is no periodicity).
+    df::BoundaryResult res;
+    EXPECT_FALSE(res.found());
+    res.period = 5;
+    res.repetitions = 1;
+    EXPECT_FALSE(res.found());
+    res.repetitions = 2;
+    EXPECT_TRUE(res.found());
+}
+
+TEST(Boundary, CropIsIdentityWithoutPeriodicity)
+{
+    // The random, never-repeating trace from NoPeriodicityInRandomTrace:
+    // cropToEncoderRegion must pass it through unchanged.
+    dg::KernelTrace t;
+    t.kernelNames.resize(64, "k");
+    double time = 0.0;
+    decepticon::util::Rng rng(5);
+    for (int i = 0; i < 40; ++i) {
+        dg::KernelRecord r;
+        r.kernelId = i % 64;
+        r.tStart = time;
+        r.tEnd = time + 1.0 + rng.uniform();
+        time = r.tEnd + 1.0;
+        t.records.push_back(r);
+    }
+    const auto cropped = df::cropToEncoderRegion(t);
+    ASSERT_EQ(cropped.records.size(), t.records.size());
+    for (std::size_t i = 0; i < t.records.size(); ++i) {
+        EXPECT_EQ(cropped.records[i].kernelId, t.records[i].kernelId);
+        EXPECT_DOUBLE_EQ(cropped.records[i].tStart, t.records[i].tStart);
+    }
+}
+
+TEST(Boundary, EmptyTraceYieldsNoDetection)
+{
+    const dg::KernelTrace empty;
+    const auto res = df::detectLayerBoundaries(empty);
+    EXPECT_FALSE(res.found());
+    EXPECT_EQ(res.repetitions, 0u);
+    EXPECT_TRUE(res.regions.empty());
+    EXPECT_DOUBLE_EQ(res.coverage, 0.0);
+    const auto cropped = df::cropToEncoderRegion(empty);
+    EXPECT_TRUE(cropped.records.empty());
+}
+
 TEST(Dataset, BuildLabelsByLineage)
 {
     const auto zoo = dz::ModelZoo::buildDefault(1, 4, 8);
@@ -271,6 +346,62 @@ TEST(SeqPredictor, PerfectOnTrainingTrace)
     df::KernelSequencePredictor pred;
     pred.train({trace});
     EXPECT_DOUBLE_EQ(pred.layerErrorRate(trace), 0.0);
+}
+
+TEST(SeqPredictor, VocabularyGrowsWithTrainingSources)
+{
+    df::KernelSequencePredictor pred;
+    EXPECT_EQ(pred.vocabularySize(), 0u);
+
+    const dg::TraceGenerator gen(pytorchSig(5));
+    pred.train({gen.generate(arch(6, 512), 1)});
+    const std::size_t one_source = pred.vocabularySize();
+    EXPECT_GT(one_source, 0u);
+
+    // A second dialect brings kernel names the first never used.
+    std::vector<dg::KernelTrace> both = {
+        gen.generate(arch(6, 512), 1),
+        dg::TraceGenerator(pytorchSig(11)).generate(arch(6, 512), 2)};
+    df::KernelSequencePredictor wide;
+    wide.train(both);
+    EXPECT_GT(wide.vocabularySize(), one_source);
+}
+
+TEST(SeqPredictor, EmptyTraceHandledGracefully)
+{
+    const dg::TraceGenerator gen(pytorchSig(5));
+    df::KernelSequencePredictor pred;
+    pred.train({gen.generate(arch(4, 256), 1)});
+
+    const dg::KernelTrace empty;
+    EXPECT_TRUE(pred.predict(empty).empty());
+    EXPECT_TRUE(df::groundTruthOpSequence(empty).empty());
+}
+
+TEST(SeqPredictor, UnseenKernelsDecodeDeterministically)
+{
+    // Out-of-distribution kernel names decode to noise — but to the
+    // SAME noise every time (a hash of the name, not randomness), so
+    // cross-source LER measurements are reproducible.
+    std::vector<dg::KernelTrace> train_traces;
+    for (int d = 0; d < 3; ++d) {
+        const dg::TraceGenerator gen(pytorchSig(d));
+        train_traces.push_back(gen.generate(arch(6, 512), 1));
+    }
+    df::KernelSequencePredictor pred;
+    pred.train(train_traces);
+
+    dg::SoftwareSignature tf;
+    tf.framework = dg::Framework::TensorFlow;
+    tf.developer = dg::Developer::Google;
+    tf.kernelDialect = 33;
+    const auto victim =
+        dg::TraceGenerator(tf).generate(arch(6, 512), 9);
+    const auto first = pred.predict(victim);
+    const auto second = pred.predict(victim);
+    EXPECT_EQ(first, second);
+    EXPECT_DOUBLE_EQ(pred.layerErrorRate(victim),
+                     pred.layerErrorRate(victim));
 }
 
 /** Boundary detection sweep over layer counts and sizes. */

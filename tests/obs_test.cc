@@ -250,6 +250,73 @@ TEST(Tracer, SpanMoveTransfersOwnership)
     EXPECT_EQ(events[0].dur, 7u); // closed exactly once, at b's exit
 }
 
+TEST(Tracer, CrossThreadEndUnwindsTheBeginningThreadsDepth)
+{
+    // Regression: a span begun on the main thread but closed from
+    // another thread (a moved Span joining pool work) used to
+    // decrement the CLOSING thread's depth. The begin thread was left
+    // with a phantom nesting level, so its next span rendered one
+    // level too deep, and the closer's depth could underflow.
+    dob::FakeClock clock;
+    dob::Tracer tracer(clock);
+
+    const std::size_t handle = tracer.beginSpan("cross", "test");
+    clock.advance(5);
+    std::thread closer([&] { tracer.endSpan(handle); });
+    closer.join();
+
+    // The main thread's depth must be back to 0: a fresh span here is
+    // top-level again.
+    const std::size_t next = tracer.beginSpan("after", "test");
+    tracer.endSpan(next);
+
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].dur, 5u);
+    EXPECT_EQ(events[1].depth, 0) << "phantom depth left behind";
+    EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(Tracer, ConcurrentWorkerSpansKeepPerThreadDepths)
+{
+    // Hammer the tracer from several threads at once: every thread's
+    // spans must nest independently (depth 0 then 1 per iteration)
+    // and the event log must hold exactly the expected span count.
+    dob::FakeClock clock;
+    dob::Tracer tracer(clock);
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 25;
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&] {
+            for (int r = 0; r < kRounds; ++r) {
+                const std::size_t outer =
+                    tracer.beginSpan("outer", "test");
+                const std::size_t inner =
+                    tracer.beginSpan("inner", "test");
+                tracer.endSpan(inner);
+                tracer.endSpan(outer);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(),
+              static_cast<std::size_t>(kThreads * kRounds * 2));
+    for (const auto &ev : events) {
+        if (ev.name == "outer")
+            EXPECT_EQ(ev.depth, 0);
+        else
+            EXPECT_EQ(ev.depth, 1);
+        EXPECT_GE(ev.tid, 1);
+        EXPECT_LE(ev.tid, kThreads);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Disabled path (the default): no-ops all the way down
 // ---------------------------------------------------------------------
