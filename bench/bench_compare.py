@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf_microbench.json snapshots for regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+
+Every gauge named ``bench.*.real_time`` present in BOTH snapshots is
+compared; a candidate more than ``threshold`` (default 15%) slower
+than the baseline is a regression and the script exits 1 — the verify
+pipeline gates on that. Wall-clock gauges only: cpu_time aggregates
+scheduler lanes and misreports threaded benchmarks.
+
+Gauges present in only one snapshot (new or retired benchmarks) are
+reported but never fail the run, so adding a benchmark does not
+require regenerating the baseline in the same change.
+"""
+
+import argparse
+import json
+import sys
+
+
+def real_time_gauges(path):
+    with open(path, "r", encoding="utf-8") as f:
+        snapshot = json.load(f)
+    gauges = snapshot.get("gauges", {})
+    return {
+        name: value
+        for name, value in gauges.items()
+        if name.startswith("bench.") and name.endswith(".real_time")
+        and isinstance(value, (int, float)) and value > 0
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("candidate", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="allowed slowdown fraction before failing (default 0.15)")
+    args = parser.parse_args()
+
+    base = real_time_gauges(args.baseline)
+    cand = real_time_gauges(args.candidate)
+    if not base:
+        print(f"error: no bench.*.real_time gauges in {args.baseline}")
+        return 2
+    if not cand:
+        print(f"error: no bench.*.real_time gauges in {args.candidate}")
+        return 2
+
+    shared = sorted(set(base) & set(cand))
+    regressions = []
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}"
+          f"  {'ratio':>7}")
+    for name in shared:
+        ratio = cand[name] / base[name]
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            flag = "  REGRESSION"
+        print(f"{name:<{width}}  {base[name]:>12.0f}  {cand[name]:>12.0f}"
+              f"  {ratio:>6.2f}x{flag}")
+
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name}: new benchmark, no baseline (not compared)")
+    for name in sorted(set(base) - set(cand)):
+        print(f"{name}: missing from candidate (not compared)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} real_time regression(s) "
+              f"worse than {args.threshold:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline")
+        return 1
+    print(f"\nOK: {len(shared)} gauge(s) within {args.threshold:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include "nn/optim.hh"
 #include "obs/obs.hh"
 #include "sched/sched.hh"
+#include "tensor/kernels/arena.hh"
 #include "util/rng.hh"
 
 namespace decepticon::fingerprint {
@@ -49,6 +50,10 @@ FingerprintCnn::FingerprintCnn(std::size_t resolution,
     // non-empty final feature map.
     assert(resolution >= 28);
     flatDim_ = fc1_.inFeatures();
+    conv1_.setActivation(tensor::kernels::Act::Relu);
+    conv2_.setActivation(tensor::kernels::Act::Relu);
+    fc1_.setActivation(tensor::kernels::Act::Relu);
+    fc2_.setActivation(tensor::kernels::Act::Relu);
 }
 
 tensor::Tensor
@@ -71,15 +76,13 @@ FingerprintCnn::forward(const tensor::Tensor &batch_images)
 {
     const std::size_t b = batch_images.dim(0);
     tensor::Tensor x = conv1_.forward(batch_images);
-    x = act1_.forward(x);
     x = pool1_.forward(x);
     x = conv2_.forward(x);
-    x = act2_.forward(x);
     x = pool2_.forward(x);
     convOutShape_ = x.shape();
     x = x.reshaped({b, flatDim_});
-    x = act3_.forward(fc1_.forward(x));
-    x = act4_.forward(fc2_.forward(x));
+    x = fc1_.forward(x);
+    x = fc2_.forward(x);
     return fc3_.forward(x);
 }
 
@@ -87,13 +90,13 @@ void
 FingerprintCnn::backward(const tensor::Tensor &dlogits)
 {
     tensor::Tensor d = fc3_.backward(dlogits);
-    d = fc2_.backward(act4_.backward(d));
-    d = fc1_.backward(act3_.backward(d));
+    d = fc2_.backward(d);
+    d = fc1_.backward(d);
     d = d.reshaped(convOutShape_);
     d = pool2_.backward(d);
-    d = conv2_.backward(act2_.backward(d));
+    d = conv2_.backward(d);
     d = pool1_.backward(d);
-    conv1_.backward(act1_.backward(d));
+    conv1_.backward(d);
 }
 
 nn::ParamRefs
@@ -142,6 +145,9 @@ FingerprintCnn::train(const FingerprintDataset &data,
             loss_sum += loss_.forward(logits, labels);
             backward(loss_.backward());
             optim.step();
+            // Forward caches for this batch are dead once the step is
+            // taken; a stray backward() against them now asserts.
+            tensor::kernels::recycleActivations();
             ++batches;
         }
         last_epoch_loss =

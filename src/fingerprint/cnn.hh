@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "fingerprint/dataset.hh"
-#include "nn/activations.hh"
 #include "nn/conv.hh"
 #include "nn/linear.hh"
 #include "nn/loss.hh"
@@ -75,11 +74,12 @@ class FingerprintCnn
     std::size_t flatDim_;
 
     util::Rng rng_; // must precede the layers it initializes
+    // ReLU activations are fused into the conv/fc epilogues (fc3
+    // produces raw logits).
     nn::Conv2d conv1_;
     nn::MaxPool2d pool1_;
     nn::Conv2d conv2_;
     nn::MaxPool2d pool2_;
-    nn::Relu act1_, act2_, act3_, act4_;
     nn::Linear fc1_, fc2_, fc3_;
     nn::SoftmaxCrossEntropy loss_;
 

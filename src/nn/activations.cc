@@ -1,8 +1,10 @@
 #include "nn/activations.hh"
 
-#include <cmath>
+#include "tensor/kernels/kernels.hh"
 
 namespace decepticon::nn {
+
+namespace kernels = tensor::kernels;
 
 tensor::Tensor
 Relu::forward(const tensor::Tensor &x)
@@ -10,7 +12,7 @@ Relu::forward(const tensor::Tensor &x)
     cachedInput_ = x;
     tensor::Tensor y = x;
     for (std::size_t i = 0; i < y.size(); ++i)
-        y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+        y[i] = kernels::actForward(kernels::Act::Relu, y[i]);
     return y;
 }
 
@@ -19,30 +21,18 @@ Relu::backward(const tensor::Tensor &dy)
 {
     assert(dy.size() == cachedInput_.size());
     tensor::Tensor dx = dy;
-    for (std::size_t i = 0; i < dx.size(); ++i) {
-        if (cachedInput_[i] <= 0.0f)
-            dx[i] = 0.0f;
-    }
+    for (std::size_t i = 0; i < dx.size(); ++i)
+        dx[i] *= kernels::actBackward(kernels::Act::Relu, cachedInput_[i]);
     return dx;
 }
-
-namespace {
-
-constexpr float kGeluC = 0.7978845608028654f; // sqrt(2/pi)
-constexpr float kGeluA = 0.044715f;
-
-} // anonymous namespace
 
 tensor::Tensor
 Gelu::forward(const tensor::Tensor &x)
 {
     cachedInput_ = x;
     tensor::Tensor y = x;
-    for (std::size_t i = 0; i < y.size(); ++i) {
-        const float v = y[i];
-        const float t = std::tanh(kGeluC * (v + kGeluA * v * v * v));
-        y[i] = 0.5f * v * (1.0f + t);
-    }
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = kernels::geluForward(y[i]);
     return y;
 }
 
@@ -51,15 +41,8 @@ Gelu::backward(const tensor::Tensor &dy)
 {
     assert(dy.size() == cachedInput_.size());
     tensor::Tensor dx = dy;
-    for (std::size_t i = 0; i < dx.size(); ++i) {
-        const float v = cachedInput_[i];
-        const float u = kGeluC * (v + kGeluA * v * v * v);
-        const float t = std::tanh(u);
-        const float sech2 = 1.0f - t * t;
-        const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
-        const float grad = 0.5f * (1.0f + t) + 0.5f * v * sech2 * du;
-        dx[i] *= grad;
-    }
+    for (std::size_t i = 0; i < dx.size(); ++i)
+        dx[i] *= kernels::geluBackward(cachedInput_[i]);
     return dx;
 }
 

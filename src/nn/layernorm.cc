@@ -19,8 +19,12 @@ LayerNorm::forward(const tensor::Tensor &x)
     assert(x.rank() == 2 && x.dim(1) == dim_);
     const std::size_t n = x.dim(0);
     tensor::Tensor y({n, dim_});
-    cachedNorm_ = tensor::Tensor({n, dim_});
-    cachedInvStd_ = tensor::Tensor({n});
+    // Reuse the cached buffers across steps; reallocate only when the
+    // row count changes.
+    if (cachedInvStd_.size() != n) {
+        cachedNorm_ = tensor::Tensor({n, dim_});
+        cachedInvStd_ = tensor::Tensor({n});
+    }
 
     for (std::size_t i = 0; i < n; ++i) {
         const float *row = x.data() + i * dim_;

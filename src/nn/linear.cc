@@ -2,6 +2,8 @@
 
 namespace decepticon::nn {
 
+namespace kernels = tensor::kernels;
+
 Linear::Linear(std::string name, std::size_t in_features,
                std::size_t out_features, util::Rng &rng)
     : weight(name + ".weight", {out_features, in_features}),
@@ -16,9 +18,23 @@ tensor::Tensor
 Linear::forward(const tensor::Tensor &x)
 {
     assert(x.rank() == 2 && x.dim(1) == inFeatures_);
-    cachedInput_ = x;
-    tensor::Tensor y = tensor::matmulTransposeB(x, weight.value);
-    tensor::addRowVector(y, bias.value);
+    const std::size_t n = x.dim(0);
+    cachedRows_ = n;
+    inputCache_.store(x.data(), x.size());
+
+    tensor::Tensor y({n, outFeatures_});
+    kernels::GemmCall call;
+    call.n = n;
+    call.m = outFeatures_;
+    call.k = inFeatures_;
+    call.a = inputCache_.data();
+    call.b = weight.value.data();
+    call.c = y.data();
+    call.colBias = bias.value.data();
+    call.act = act_;
+    if (act_ != kernels::Act::None)
+        call.preact = preactCache_.prepare(n * outFeatures_);
+    kernels::gemm(kernels::Trans::NT, call);
     return y;
 }
 
@@ -26,20 +42,53 @@ tensor::Tensor
 Linear::backward(const tensor::Tensor &dy)
 {
     assert(dy.rank() == 2 && dy.dim(1) == outFeatures_);
-    assert(cachedInput_.dim(0) == dy.dim(0));
-
-    // dW = dy^T x ; db = column sums of dy ; dx = dy W.
-    tensor::Tensor dw = tensor::matmulTransposeA(dy, cachedInput_);
-    tensor::axpy(weight.grad, dw, 1.0f);
-
+    assert(dy.dim(0) == cachedRows_);
+    assert(inputCache_.valid() &&
+           "Linear::backward after recycleActivations()");
     const std::size_t n = dy.dim(0);
+
+    // Under a fused activation, fold its derivative (at the cached
+    // pre-activation values) into the incoming gradient first.
+    const float *g = dy.data();
+    tensor::Tensor dpre;
+    if (act_ != kernels::Act::None) {
+        assert(preactCache_.valid());
+        dpre = dy;
+        const float *pre = preactCache_.data();
+        for (std::size_t i = 0; i < dpre.size(); ++i)
+            dpre[i] *= kernels::actBackward(act_, pre[i]);
+        g = dpre.data();
+    }
+
+    // dW += g^T x, accumulated straight into the grad tensor.
+    kernels::GemmCall dw;
+    dw.n = outFeatures_;
+    dw.m = inFeatures_;
+    dw.k = n;
+    dw.a = g;
+    dw.b = inputCache_.data();
+    dw.c = weight.grad.data();
+    dw.accumulate = true;
+    kernels::gemm(kernels::Trans::TN, dw);
+
+    // db = column sums of g.
     for (std::size_t i = 0; i < n; ++i) {
-        const float *row = dy.data() + i * outFeatures_;
+        const float *row = g + i * outFeatures_;
         for (std::size_t j = 0; j < outFeatures_; ++j)
             bias.grad[j] += row[j];
     }
 
-    return tensor::matmul(dy, weight.value);
+    // dx = g W.
+    tensor::Tensor dx({n, inFeatures_});
+    kernels::GemmCall dxc;
+    dxc.n = n;
+    dxc.m = inFeatures_;
+    dxc.k = outFeatures_;
+    dxc.a = g;
+    dxc.b = weight.value.data();
+    dxc.c = dx.data();
+    kernels::gemm(kernels::Trans::NN, dxc);
+    return dx;
 }
 
 } // namespace decepticon::nn

@@ -9,15 +9,28 @@
 #include <string>
 
 #include "nn/param.hh"
+#include "tensor/kernels/arena.hh"
+#include "tensor/kernels/kernels.hh"
 #include "tensor/tensor.hh"
 #include "util/rng.hh"
 
 namespace decepticon::nn {
 
 /**
- * y = x W^T + b, with x of shape (N, in) and y of shape (N, out).
+ * y = act(x W^T + b), with x of shape (N, in) and y of shape (N, out).
  * Weight is stored (out, in), matching PyTorch's nn.Linear layout so
  * weight-extraction indexing matches the paper's framing.
+ *
+ * The activation defaults to identity; setActivation() fuses a
+ * ReLU/GELU into the GEMM epilogue (forward) and its derivative into
+ * backward, letting callers drop their separate activation module on
+ * hot paths.
+ *
+ * The input (and, under a fused activation, the pre-activation
+ * matrix) is kept in an ActivationCache slot — storage reused across
+ * steps, stamped with the activation epoch — rather than a freshly
+ * allocated per-call Tensor copy. backward() after
+ * recycleActivations() asserts.
  */
 class Linear
 {
@@ -26,12 +39,16 @@ class Linear
     Linear(std::string name, std::size_t in_features,
            std::size_t out_features, util::Rng &rng);
 
+    /** Fuse an activation into forward/backward (default: none). */
+    void setActivation(tensor::kernels::Act act) { act_ = act; }
+
     /** Forward pass; caches the input for backward. */
     tensor::Tensor forward(const tensor::Tensor &x);
 
     /**
      * Backward pass: accumulates dW, db and returns dx.
-     * @pre forward was called and dy matches its output shape.
+     * @pre forward was called, its caches are still in the current
+     *      activation epoch, and dy matches the output shape.
      */
     tensor::Tensor backward(const tensor::Tensor &dy);
 
@@ -47,7 +64,10 @@ class Linear
   private:
     std::size_t inFeatures_;
     std::size_t outFeatures_;
-    tensor::Tensor cachedInput_;
+    tensor::kernels::Act act_ = tensor::kernels::Act::None;
+    std::size_t cachedRows_ = 0;
+    tensor::kernels::ActivationCache inputCache_;
+    tensor::kernels::ActivationCache preactCache_;
 };
 
 } // namespace decepticon::nn

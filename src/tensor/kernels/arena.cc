@@ -1,0 +1,34 @@
+#include "tensor/kernels/arena.hh"
+
+#include <atomic>
+
+namespace decepticon::tensor::kernels {
+
+ScratchArena &
+scratch()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+namespace {
+
+// Relaxed is enough: the epoch only gates asserts, never results, and
+// forward/backward pairs that must agree run on one thread.
+std::atomic<std::uint64_t> g_activation_epoch{1};
+
+} // anonymous namespace
+
+std::uint64_t
+activationEpoch()
+{
+    return g_activation_epoch.load(std::memory_order_relaxed);
+}
+
+void
+recycleActivations()
+{
+    g_activation_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace decepticon::tensor::kernels

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Vectorization-friendly element-wise kernels. The attention hot path
+ * spends a large share of its time in row softmax, so the optimized
+ * variant replaces libm expf with the fast polynomial exp from
+ * vecmath.hh, evaluated eight lanes at a time. Results are a pure
+ * function of the input values and the row length — the max and sum
+ * reductions run lane-wise over full 8-wide groups in ascending
+ * order, then reduce the lanes and the scalar tail in a fixed order —
+ * so there is no thread-count or scheduling dependence.
+ */
+
+#include "tensor/kernels/kernels.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/kernels/vecmath.hh"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DECEPTICON_RESTRICT __restrict__
+#else
+#define DECEPTICON_RESTRICT
+#endif
+
+namespace decepticon::tensor::kernels {
+
+namespace {
+
+#ifdef DECEPTICON_KERNEL_VECEXT
+
+inline void
+softmaxRow(const float *DECEPTICON_RESTRICT row,
+           float *DECEPTICON_RESTRICT orow, std::size_t cols)
+{
+    const std::size_t body = cols - cols % kV8Lanes;
+    // Row max: lane-wise over full groups, then lanes 0..7, then the
+    // tail. Max is order-insensitive, but keep the order fixed anyway.
+    float mx = row[0];
+    if (body) {
+        V8 vmx;
+        std::memcpy(&vmx, row, sizeof vmx);
+        for (std::size_t j = kV8Lanes; j < body; j += kV8Lanes) {
+            V8 v;
+            std::memcpy(&v, row + j, sizeof v);
+            vmx = v > vmx ? v : vmx;
+        }
+        mx = vmx[0];
+        for (std::size_t l = 1; l < kV8Lanes; ++l)
+            mx = std::max(mx, vmx[l]);
+    }
+    for (std::size_t j = body; j < cols; ++j)
+        mx = std::max(mx, row[j]);
+    // Exponentials and sum: 8 fixed lane-partials in ascending group
+    // order, reduced lanes 0..7, then the scalar tail in order.
+    const V8 vmxb = vbroadcast(mx);
+    V8 vsum = V8{};
+    for (std::size_t j = 0; j < body; j += kV8Lanes) {
+        V8 v;
+        std::memcpy(&v, row + j, sizeof v);
+        const V8 e = fastExpV(v - vmxb);
+        std::memcpy(orow + j, &e, sizeof e);
+        vsum += e;
+    }
+    float s = 0.0f;
+    for (std::size_t l = 0; l < kV8Lanes; ++l)
+        s += vsum[l];
+    for (std::size_t j = body; j < cols; ++j) {
+        orow[j] = fastExp(row[j] - mx);
+        s += orow[j];
+    }
+    const float inv = 1.0f / s;
+    const V8 vinv = vbroadcast(inv);
+    for (std::size_t j = 0; j < body; j += kV8Lanes) {
+        V8 v;
+        std::memcpy(&v, orow + j, sizeof v);
+        v *= vinv;
+        std::memcpy(orow + j, &v, sizeof v);
+    }
+    for (std::size_t j = body; j < cols; ++j)
+        orow[j] *= inv;
+}
+
+#else // !DECEPTICON_KERNEL_VECEXT
+
+inline void
+softmaxRow(const float *DECEPTICON_RESTRICT row,
+           float *DECEPTICON_RESTRICT orow, std::size_t cols)
+{
+    float mx = row[0];
+    for (std::size_t j = 1; j < cols; ++j)
+        mx = std::max(mx, row[j]);
+    float s = 0.0f;
+    for (std::size_t j = 0; j < cols; ++j) {
+        orow[j] = fastExp(row[j] - mx);
+        s += orow[j];
+    }
+    const float inv = 1.0f / s;
+    for (std::size_t j = 0; j < cols; ++j)
+        orow[j] *= inv;
+}
+
+#endif // DECEPTICON_KERNEL_VECEXT
+
+} // anonymous namespace
+
+void
+softmaxRowsFast(const float *DECEPTICON_RESTRICT x,
+                float *DECEPTICON_RESTRICT y, std::size_t rows,
+                std::size_t cols)
+{
+    for (std::size_t i = 0; i < rows; ++i)
+        softmaxRow(x + i * cols, y + i * cols, cols);
+}
+
+} // namespace decepticon::tensor::kernels

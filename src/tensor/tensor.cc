@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "tensor/kernels/kernels.hh"
+
 namespace decepticon::tensor {
 
 namespace {
@@ -106,18 +108,14 @@ matmul(const Tensor &a, const Tensor &b)
     assert(a.dim(1) == b.dim(0));
     const std::size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
     Tensor c({n, m});
-    for (std::size_t i = 0; i < n; ++i) {
-        const float *arow = a.data() + i * k;
-        float *crow = c.data() + i * m;
-        for (std::size_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f)
-                continue;
-            const float *brow = b.data() + p * m;
-            for (std::size_t j = 0; j < m; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    kernels::GemmCall call;
+    call.n = n;
+    call.m = m;
+    call.k = k;
+    call.a = a.data();
+    call.b = b.data();
+    call.c = c.data();
+    kernels::gemm(kernels::Trans::NN, call);
     return c;
 }
 
@@ -128,17 +126,14 @@ matmulTransposeB(const Tensor &a, const Tensor &b)
     assert(a.dim(1) == b.dim(1));
     const std::size_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
     Tensor c({n, m});
-    for (std::size_t i = 0; i < n; ++i) {
-        const float *arow = a.data() + i * k;
-        float *crow = c.data() + i * m;
-        for (std::size_t j = 0; j < m; ++j) {
-            const float *brow = b.data() + j * k;
-            float s = 0.0f;
-            for (std::size_t p = 0; p < k; ++p)
-                s += arow[p] * brow[p];
-            crow[j] = s;
-        }
-    }
+    kernels::GemmCall call;
+    call.n = n;
+    call.m = m;
+    call.k = k;
+    call.a = a.data();
+    call.b = b.data();
+    call.c = c.data();
+    kernels::gemm(kernels::Trans::NT, call);
     return c;
 }
 
@@ -149,18 +144,14 @@ matmulTransposeA(const Tensor &a, const Tensor &b)
     assert(a.dim(0) == b.dim(0));
     const std::size_t k = a.dim(0), n = a.dim(1), m = b.dim(1);
     Tensor c({n, m});
-    for (std::size_t p = 0; p < k; ++p) {
-        const float *arow = a.data() + p * n;
-        const float *brow = b.data() + p * m;
-        for (std::size_t i = 0; i < n; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c.data() + i * m;
-            for (std::size_t j = 0; j < m; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    kernels::GemmCall call;
+    call.n = n;
+    call.m = m;
+    call.k = k;
+    call.a = a.data();
+    call.b = b.data();
+    call.c = c.data();
+    kernels::gemm(kernels::Trans::TN, call);
     return c;
 }
 
@@ -217,6 +208,12 @@ softmaxRows(const Tensor &a)
     assert(a.rank() == 2);
     const std::size_t n = a.dim(0), m = a.dim(1);
     Tensor out({n, m});
+    if (n == 0 || m == 0)
+        return out;
+    if (!kernels::naiveEnabled()) {
+        kernels::softmaxRowsFast(a.data(), out.data(), n, m);
+        return out;
+    }
     for (std::size_t i = 0; i < n; ++i) {
         const float *row = a.data() + i * m;
         float *orow = out.data() + i * m;

@@ -2,7 +2,11 @@
 
 #include <cmath>
 
+#include "tensor/kernels/kernels.hh"
+
 namespace decepticon::transformer {
+
+namespace kernels = tensor::kernels;
 
 tensor::Tensor
 sliceHead(const tensor::Tensor &x, std::size_t h, std::size_t head_dim)
@@ -52,6 +56,7 @@ EncoderLayer::EncoderLayer(const std::string &name,
       activeHeads_(cfg.numHeads, true)
 {
     assert(cfg.valid());
+    ff1_.setActivation(tensor::kernels::Act::Gelu);
 }
 
 tensor::Tensor
@@ -65,15 +70,27 @@ EncoderLayer::forward(const tensor::Tensor &x)
     cachedV_ = wv_.forward(x);
     cachedProbs_.assign(numHeads_, tensor::Tensor());
 
+    // Per-head attention runs on column slices of the packed Q/K/V
+    // matrices through the strided-GEMM interface (lda = hidden), so
+    // no head is ever copied out; the context GEMM writes its result
+    // straight into head h's columns of attn_cat (ldc = hidden).
+    // Pruned heads leave their zero-initialized columns untouched.
     tensor::Tensor attn_cat({t, hidden_});
     const float scale = 1.0f / std::sqrt(static_cast<float>(headDim_));
     for (std::size_t h = 0; h < numHeads_; ++h) {
         if (!activeHeads_[h])
             continue;
-        tensor::Tensor qh = sliceHead(cachedQ_, h, headDim_);
-        tensor::Tensor kh = sliceHead(cachedK_, h, headDim_);
-        tensor::Tensor vh = sliceHead(cachedV_, h, headDim_);
-        tensor::Tensor scores = tensor::matmulTransposeB(qh, kh);
+        tensor::Tensor scores({t, t});
+        kernels::GemmCall sc;
+        sc.n = t;
+        sc.m = t;
+        sc.k = headDim_;
+        sc.a = cachedQ_.data() + h * headDim_;
+        sc.lda = hidden_;
+        sc.b = cachedK_.data() + h * headDim_;
+        sc.ldb = hidden_;
+        sc.c = scores.data();
+        kernels::gemm(kernels::Trans::NT, sc);
         tensor::scaleInPlace(scores, scale);
         if (causal_) {
             // Masked self-attention (decoder block): position i may
@@ -86,15 +103,23 @@ EncoderLayer::forward(const tensor::Tensor &x)
             }
         }
         cachedProbs_[h] = tensor::softmaxRows(scores);
-        tensor::Tensor oh = tensor::matmul(cachedProbs_[h], vh);
-        scatterHead(attn_cat, oh, h, headDim_);
+        kernels::GemmCall ctx;
+        ctx.n = t;
+        ctx.m = headDim_;
+        ctx.k = t;
+        ctx.a = cachedProbs_[h].data();
+        ctx.b = cachedV_.data() + h * headDim_;
+        ctx.ldb = hidden_;
+        ctx.c = attn_cat.data() + h * headDim_;
+        ctx.ldc = hidden_;
+        kernels::gemm(kernels::Trans::NN, ctx);
     }
 
     tensor::Tensor ao = wo_.forward(attn_cat);
     tensor::Tensor r1 = tensor::add(x, ao);
     tensor::Tensor h1 = ln1_.forward(r1);
 
-    tensor::Tensor f = ff2_.forward(act_.forward(ff1_.forward(h1)));
+    tensor::Tensor f = ff2_.forward(ff1_.forward(h1));
     tensor::Tensor r2 = tensor::add(h1, f);
     return ln2_.forward(r2);
 }
@@ -106,13 +131,16 @@ EncoderLayer::backward(const tensor::Tensor &dy)
 
     tensor::Tensor dr2 = ln2_.backward(dy);
     // r2 = h1 + f: gradient flows unchanged to both addends.
-    tensor::Tensor dh1_ffn =
-        ff1_.backward(act_.backward(ff2_.backward(dr2)));
+    tensor::Tensor dh1_ffn = ff1_.backward(ff2_.backward(dr2));
     tensor::Tensor dh1 = tensor::add(dr2, dh1_ffn);
 
     tensor::Tensor dr1 = ln1_.backward(dh1);
     tensor::Tensor d_attn_cat = wo_.backward(dr1);
 
+    // Head gradients mirror the forward slicing: every per-head GEMM
+    // reads head columns in place (lda/ldb = hidden) and the dq/dk/dv
+    // results land directly in their head's columns (ldc = hidden);
+    // the columns of pruned heads stay zero.
     tensor::Tensor dq({t, hidden_});
     tensor::Tensor dk({t, hidden_});
     tensor::Tensor dv({t, hidden_});
@@ -121,15 +149,32 @@ EncoderLayer::backward(const tensor::Tensor &dy)
     for (std::size_t h = 0; h < numHeads_; ++h) {
         if (!activeHeads_[h])
             continue;
-        tensor::Tensor doh = sliceHead(d_attn_cat, h, headDim_);
-        tensor::Tensor qh = sliceHead(cachedQ_, h, headDim_);
-        tensor::Tensor kh = sliceHead(cachedK_, h, headDim_);
-        tensor::Tensor vh = sliceHead(cachedV_, h, headDim_);
         const tensor::Tensor &p = cachedProbs_[h];
+        const std::size_t off = h * headDim_;
 
-        // oh = P vh.
-        tensor::Tensor dp = tensor::matmulTransposeB(doh, vh);
-        tensor::Tensor dvh = tensor::matmulTransposeA(p, doh);
+        // oh = P vh: dp = doh vh^T, dvh = P^T doh.
+        tensor::Tensor dp({t, t});
+        kernels::GemmCall dpc;
+        dpc.n = t;
+        dpc.m = t;
+        dpc.k = headDim_;
+        dpc.a = d_attn_cat.data() + off;
+        dpc.lda = hidden_;
+        dpc.b = cachedV_.data() + off;
+        dpc.ldb = hidden_;
+        dpc.c = dp.data();
+        kernels::gemm(kernels::Trans::NT, dpc);
+
+        kernels::GemmCall dvc;
+        dvc.n = t;
+        dvc.m = headDim_;
+        dvc.k = t;
+        dvc.a = p.data();
+        dvc.b = d_attn_cat.data() + off;
+        dvc.ldb = hidden_;
+        dvc.c = dv.data() + off;
+        dvc.ldc = hidden_;
+        kernels::gemm(kernels::Trans::TN, dvc);
 
         // Softmax backward per row: ds = P .* (dp - rowsum(dp .* P)).
         tensor::Tensor ds({t, t});
@@ -146,12 +191,27 @@ EncoderLayer::backward(const tensor::Tensor &dy)
         tensor::scaleInPlace(ds, scale);
 
         // scores = qh kh^T (pre-scale): dq = ds kh, dk = ds^T qh.
-        tensor::Tensor dqh = tensor::matmul(ds, kh);
-        tensor::Tensor dkh = tensor::matmulTransposeA(ds, qh);
+        kernels::GemmCall dqc;
+        dqc.n = t;
+        dqc.m = headDim_;
+        dqc.k = t;
+        dqc.a = ds.data();
+        dqc.b = cachedK_.data() + off;
+        dqc.ldb = hidden_;
+        dqc.c = dq.data() + off;
+        dqc.ldc = hidden_;
+        kernels::gemm(kernels::Trans::NN, dqc);
 
-        scatterHead(dq, dqh, h, headDim_);
-        scatterHead(dk, dkh, h, headDim_);
-        scatterHead(dv, dvh, h, headDim_);
+        kernels::GemmCall dkc;
+        dkc.n = t;
+        dkc.m = headDim_;
+        dkc.k = t;
+        dkc.a = ds.data();
+        dkc.b = cachedQ_.data() + off;
+        dkc.ldb = hidden_;
+        dkc.c = dk.data() + off;
+        dkc.ldc = hidden_;
+        kernels::gemm(kernels::Trans::TN, dkc);
     }
 
     tensor::Tensor dx = wq_.backward(dq);

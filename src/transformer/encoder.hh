@@ -65,8 +65,7 @@ class EncoderLayer
 
     nn::Linear wq_, wk_, wv_, wo_;
     nn::LayerNorm ln1_, ln2_;
-    nn::Linear ff1_, ff2_;
-    nn::Gelu act_;
+    nn::Linear ff1_, ff2_; ///< GELU is fused into ff1's epilogue
 
     std::vector<bool> activeHeads_;
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "nn/optim.hh"
+#include "tensor/kernels/arena.hh"
 #include "util/rng.hh"
 
 namespace decepticon::transformer {
@@ -47,6 +48,7 @@ runTraining(TransformerClassifier &model, const Dataset &full_data,
                 optim.step();
                 head_optim.step();
                 nn::zeroGrads(model.params());
+                tensor::kernels::recycleActivations();
                 in_batch = 0;
             }
         }
@@ -54,6 +56,7 @@ runTraining(TransformerClassifier &model, const Dataset &full_data,
             optim.step();
             head_optim.step();
             nn::zeroGrads(model.params());
+            tensor::kernels::recycleActivations();
         }
         for (const Example &ex : data.examples) {
             if (model.predict(ex.tokens) == ex.label)
