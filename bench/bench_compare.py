@@ -3,21 +3,86 @@
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+    bench_compare.py --lint-report BASELINE.json CANDIDATE.json
 
-Every gauge named ``bench.*.real_time`` present in BOTH snapshots is
-compared; a candidate more than ``threshold`` (default 15%) slower
-than the baseline is a regression and the script exits 1 — the verify
-pipeline gates on that. Wall-clock gauges only: cpu_time aggregates
-scheduler lanes and misreports threaded benchmarks.
+Benchmark mode: every gauge named ``bench.*.real_time`` present in
+BOTH snapshots is compared; a candidate more than ``threshold``
+(default 15%) slower than the baseline is a regression and the script
+exits 1 — the verify pipeline gates on that. Wall-clock gauges only:
+cpu_time aggregates scheduler lanes and misreports threaded
+benchmarks. Gauges present in only one snapshot (new or retired
+benchmarks) are reported but never fail the run, so adding a
+benchmark does not require regenerating the baseline in the same
+change.
 
-Gauges present in only one snapshot (new or retired benchmarks) are
-reported but never fail the run, so adding a benchmark does not
-require regenerating the baseline in the same change.
+Lint mode (``--lint-report``): diff two decepticon-lint JSON reports
+(the committed ``tools/lint/lint_baseline.json`` vs a fresh
+``decepticon-lint --json`` run). Any unsuppressed violation fails,
+and so does any suppression not present in the baseline — new
+suppressions must land by updating the committed baseline, which
+makes them a reviewable diff instead of a silent drive-by. Retired
+suppressions are reported as cleanups and pass.
 """
 
 import argparse
 import json
 import sys
+
+
+def lint_suppression_key(entry):
+    """Identity of a suppression for baseline diffing: file + rule +
+    justification. Line numbers are deliberately excluded so
+    unrelated edits above a suppressed line do not churn the
+    baseline."""
+    return (entry.get("file", ""), entry.get("rule", ""),
+            entry.get("justification", ""))
+
+
+def compare_lint_reports(baseline_path, candidate_path):
+    with open(baseline_path, "r", encoding="utf-8") as f:
+        base = json.load(f)
+    with open(candidate_path, "r", encoding="utf-8") as f:
+        cand = json.load(f)
+    for report, path in ((base, baseline_path), (cand, candidate_path)):
+        if report.get("tool") != "decepticon-lint":
+            print(f"error: {path} is not a decepticon-lint report")
+            return 2
+
+    failed = False
+    violations = cand.get("violations", [])
+    if violations:
+        failed = True
+        print(f"FAIL: {len(violations)} unsuppressed violation(s):")
+        for v in violations:
+            print(f"  {v['file']}:{v['line']}: [{v['rule']}] "
+                  f"{v['message']}")
+
+    base_sup = {lint_suppression_key(s) for s in base.get("suppressed", [])}
+    cand_entries = cand.get("suppressed", [])
+    new = [s for s in cand_entries
+           if lint_suppression_key(s) not in base_sup]
+    if new:
+        failed = True
+        print(f"FAIL: {len(new)} suppression(s) not in the committed "
+              f"baseline ({baseline_path}):")
+        for s in new:
+            print(f"  {s['file']}:{s['line']}: [{s['rule']}] "
+                  f"justification: {s.get('justification', '')!r}")
+        print("  If intentional, regenerate the baseline "
+              "(decepticon-lint --json) and commit it so the new "
+              "suppression is visible in review.")
+
+    cand_sup = {lint_suppression_key(s) for s in cand_entries}
+    retired = sorted(base_sup - cand_sup)
+    for file_, rule, _ in retired:
+        print(f"note: suppression retired in {file_} [{rule}] "
+              f"(baseline can be regenerated)")
+
+    if failed:
+        return 1
+    print(f"OK: 0 violations, {len(cand_entries)} suppression(s), "
+          f"all in baseline")
+    return 0
 
 
 def real_time_gauges(path):
@@ -39,7 +104,14 @@ def main():
     parser.add_argument(
         "--threshold", type=float, default=0.15,
         help="allowed slowdown fraction before failing (default 0.15)")
+    parser.add_argument(
+        "--lint-report", action="store_true",
+        help="treat the inputs as decepticon-lint JSON reports and "
+             "diff suppressions against the committed baseline")
     args = parser.parse_args()
+
+    if args.lint_report:
+        return compare_lint_reports(args.baseline, args.candidate)
 
     base = real_time_gauges(args.baseline)
     cand = real_time_gauges(args.candidate)

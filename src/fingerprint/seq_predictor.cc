@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cassert>
+#include <map>
 
 #include "util/edit_distance.hh"
 #include "util/rng.hh"
@@ -42,7 +43,11 @@ KernelSequencePredictor::train(
     const std::vector<gpusim::KernelTrace> &traces)
 {
     // Majority-vote operator per kernel name across the profile runs.
-    std::unordered_map<std::string, std::array<std::size_t, 5>> votes;
+    // Ordered map on purpose: the tally below iterates it, and
+    // iterating an unordered_map here would make the vote-resolution
+    // order (and with it any future tie-break or logging added to
+    // this loop) depend on the hash layout instead of the input.
+    std::map<std::string, std::array<std::size_t, 5>> votes;
     for (const auto &trace : traces) {
         for (const auto &rec : trace.records) {
             const auto op = static_cast<std::size_t>(groundTruthOp(rec));

@@ -25,8 +25,8 @@ struct Parameter
 
     Parameter() = default;
 
-    Parameter(std::string name, std::vector<std::size_t> shape)
-        : name(std::move(name)), value(shape), grad(std::move(shape))
+    Parameter(std::string paramName, std::vector<std::size_t> shape)
+        : name(std::move(paramName)), value(shape), grad(std::move(shape))
     {
     }
 

@@ -74,8 +74,8 @@ pearson(const std::vector<double> &xs, const std::vector<double> &ys)
     return sxy / std::sqrt(sxx * syy);
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo(lo), hi(hi), counts(bins, 0)
+Histogram::Histogram(double low, double high, std::size_t bins)
+    : lo(low), hi(high), counts(bins, 0)
 {
     assert(bins > 0);
     assert(hi > lo);

@@ -348,6 +348,38 @@ TEST(SeqPredictor, PerfectOnTrainingTrace)
     EXPECT_DOUBLE_EQ(pred.layerErrorRate(trace), 0.0);
 }
 
+TEST(SeqPredictor, TrainingIsOrderAndRunDeterministic)
+{
+    // Regression for the decepticon-lint R3 sweep: the majority-vote
+    // tally used to iterate an unordered_map, so the vote-resolution
+    // order depended on the hash layout. The tally is an ordered map
+    // now — training on the same profile runs, in any presentation
+    // order, must yield bit-identical predictions.
+    std::vector<dg::KernelTrace> traces;
+    for (int d = 0; d < 4; ++d) {
+        const dg::TraceGenerator gen(pytorchSig(d));
+        traces.push_back(gen.generate(arch(12, 768), 1));
+    }
+    const auto victim =
+        dg::TraceGenerator(pytorchSig(9)).generate(arch(12, 768), 2);
+
+    df::KernelSequencePredictor forward;
+    forward.train(traces);
+    const auto expected = forward.predict(victim);
+
+    std::vector<dg::KernelTrace> reversed(traces.rbegin(),
+                                          traces.rend());
+    df::KernelSequencePredictor backward;
+    backward.train(reversed);
+    EXPECT_EQ(backward.predict(victim), expected)
+        << "prediction depends on training presentation order";
+
+    df::KernelSequencePredictor again;
+    again.train(traces);
+    EXPECT_EQ(again.predict(victim), expected)
+        << "repeat training run diverged";
+}
+
 TEST(SeqPredictor, VocabularyGrowsWithTrainingSources)
 {
     df::KernelSequencePredictor pred;

@@ -255,8 +255,9 @@ TEST(KernelsSoftmax, MatchesNaiveAndZerosMaskedEntries)
             ASSERT_NEAR(fast[i], ref[i], 1e-5f) << "cols=" << cols;
         // Masked probabilities are exactly zero, like libm underflow.
         for (std::size_t j = cols / 2; j < cols; ++j) {
-            if (cols / 2 > 0)
+            if (cols / 2 > 0) {
                 EXPECT_EQ(fast.at(rows - 1, j), 0.0f);
+            }
         }
     }
 }

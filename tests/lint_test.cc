@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Self-test for decepticon-lint: every rule fires on its bad
+ * fixture, stays silent on the good fixture, suppressions are
+ * honored (and justification-free ones are not), and the JSON
+ * report is byte-identical across runs. The fixture corpus lives in
+ * tools/lint/fixtures/{good_repo,bad_repo} and shares one layers
+ * config (modules a=0, b=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "lint.hh"
+
+namespace lint = decepticon::lint;
+
+namespace {
+
+std::string
+fixtures()
+{
+    return LINT_FIXTURE_DIR;
+}
+
+lint::Config
+fixtureConfig()
+{
+    lint::Config cfg;
+    std::string err;
+    EXPECT_TRUE(lint::loadConfig(fixtures() + "/layers.toml", cfg, &err))
+        << err;
+    return cfg;
+}
+
+int
+countRuleInFile(const lint::Report &r, const std::string &rule,
+                const std::string &file)
+{
+    return static_cast<int>(std::count_if(
+        r.violations.begin(), r.violations.end(),
+        [&](const lint::Violation &v) {
+            return v.rule == rule && v.file == file;
+        }));
+}
+
+} // namespace
+
+TEST(Lint, GoodRepoIsClean)
+{
+    const lint::Report r =
+        lint::runLint(fixtures() + "/good_repo", fixtureConfig());
+    EXPECT_EQ(r.filesScanned, 5u);
+    EXPECT_TRUE(r.violations.empty())
+        << lint::renderText(r)
+        << "good fixture must produce zero unsuppressed violations";
+    ASSERT_EQ(r.suppressed.size(), 1u);
+    EXPECT_EQ(r.suppressed[0].rule, "R3");
+    EXPECT_EQ(r.suppressed[0].file, "src/a/clean.cc");
+    EXPECT_NE(r.suppressed[0].justification.find("commutes"),
+              std::string::npos)
+        << "multi-line justification text must be captured";
+}
+
+TEST(Lint, BadRepoFiresEveryRule)
+{
+    const lint::Report r =
+        lint::runLint(fixtures() + "/bad_repo", fixtureConfig());
+
+    // R1: rand, srand, random_device, time(nullptr), steady_clock::now
+    // in r1_nondet.cc, plus the bare-suppressed rand in r5_stale.cc.
+    EXPECT_EQ(countRuleInFile(r, "R1", "src/a/r1_nondet.cc"), 5);
+    EXPECT_EQ(countRuleInFile(r, "R1", "src/a/r5_stale.cc"), 1)
+        << "a suppression without justification must not suppress";
+
+    // R2: the upward include and the intra-module file cycle.
+    EXPECT_EQ(countRuleInFile(r, "R2", "src/a/upward.cc"), 1);
+    EXPECT_EQ(countRuleInFile(r, "R2", "src/a/cycle_a.hh"), 1);
+
+    // R3: exactly the unordered range-for (the vector loop is fine).
+    EXPECT_EQ(countRuleInFile(r, "R3", "src/a/r3_unordered.cc"), 1);
+
+    // R4: std::thread, std::async, #pragma omp.
+    EXPECT_EQ(countRuleInFile(r, "R4", "src/a/r4_threads.cc"), 3);
+
+    // R5: missing guard, rogue getenv, untagged to-do marker, stale
+    // suppression.
+    EXPECT_EQ(countRuleInFile(r, "R5", "src/a/r5_unguarded.hh"), 1);
+    EXPECT_EQ(countRuleInFile(r, "R5", "src/a/r5_env_todo.cc"), 2);
+    EXPECT_EQ(countRuleInFile(r, "R5", "src/a/r5_stale.cc"), 1);
+
+    EXPECT_EQ(r.violations.size(), 16u) << lint::renderText(r);
+    EXPECT_TRUE(r.suppressed.empty());
+
+    // Rule counts in the report must agree with the raw list.
+    EXPECT_EQ(r.countsByRule.at("R1"), 6);
+    EXPECT_EQ(r.countsByRule.at("R2"), 2);
+    EXPECT_EQ(r.countsByRule.at("R3"), 1);
+    EXPECT_EQ(r.countsByRule.at("R4"), 3);
+    EXPECT_EQ(r.countsByRule.at("R5"), 4);
+}
+
+TEST(Lint, ViolationLinesPointAtTheConstruct)
+{
+    const lint::Report r =
+        lint::runLint(fixtures() + "/bad_repo", fixtureConfig());
+    auto lineOf = [&](const std::string &file, const std::string &rule) {
+        for (const lint::Violation &v : r.violations)
+            if (v.file == file && v.rule == rule)
+                return v.line;
+        return -1;
+    };
+    EXPECT_EQ(lineOf("src/a/upward.cc", "R2"), 2);
+    EXPECT_EQ(lineOf("src/a/r3_unordered.cc", "R3"), 10);
+    EXPECT_EQ(lineOf("src/a/r5_unguarded.hh", "R5"), 1);
+}
+
+TEST(Lint, JsonReportIsByteIdenticalAcrossRuns)
+{
+    const lint::Config cfg = fixtureConfig();
+    lint::Report a = lint::runLint(fixtures() + "/bad_repo", cfg);
+    lint::Report b = lint::runLint(fixtures() + "/bad_repo", cfg);
+    const std::string ja = lint::renderJson(a);
+    const std::string jb = lint::renderJson(b);
+    EXPECT_EQ(ja, jb);
+    EXPECT_NE(ja.find("\"tool\": \"decepticon-lint\""), std::string::npos);
+    // No timestamps / absolute paths may leak into the report.
+    EXPECT_EQ(ja.find(fixtures()), std::string::npos);
+}
+
+TEST(Lint, RepoConfigParsesAndDeclaresEveryModule)
+{
+    lint::Config cfg;
+    std::string err;
+    ASSERT_TRUE(lint::loadConfig(
+        std::string(LINT_REPO_ROOT) + "/tools/lint/layers.toml", cfg, &err))
+        << err;
+    // The partial order the tree is checked against: spot-check the
+    // extremes and one middle edge.
+    ASSERT_TRUE(cfg.layerOf.count("util"));
+    ASSERT_TRUE(cfg.layerOf.count("core"));
+    ASSERT_TRUE(cfg.layerOf.count("sched"));
+    EXPECT_LT(cfg.layerOf.at("util"), cfg.layerOf.at("sched"));
+    EXPECT_LT(cfg.layerOf.at("sched"), cfg.layerOf.at("core"));
+}
+
+TEST(Lint, MalformedConfigIsRejected)
+{
+    const std::string path =
+        testing::TempDir() + "lint_bad_config.toml";
+    {
+        std::ofstream out(path);
+        out << "[no_such_section]\nfoo\n";
+    }
+    lint::Config cfg;
+    std::string err;
+    EXPECT_FALSE(lint::loadConfig(path, cfg, &err));
+    EXPECT_NE(err.find("unknown section"), std::string::npos);
+    std::remove(path.c_str());
+}

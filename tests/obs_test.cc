@@ -80,6 +80,8 @@ TEST(MetricsRegistry, ConcurrentCountersSumExactly)
     dob::MetricsRegistry reg;
     constexpr int kThreads = 4;
     constexpr int kIncrements = 2000;
+    // lint: suppress(R4) thread-safety test must race the registry
+    // with threads the sched pool does not serialize
     std::vector<std::thread> threads;
     for (int t = 0; t < kThreads; ++t)
         threads.emplace_back([&reg]() {
@@ -262,6 +264,8 @@ TEST(Tracer, CrossThreadEndUnwindsTheBeginningThreadsDepth)
 
     const std::size_t handle = tracer.beginSpan("cross", "test");
     clock.advance(5);
+    // lint: suppress(R4) regression test needs a span closed from a
+    // foreign thread, outside any pool bookkeeping
     std::thread closer([&] { tracer.endSpan(handle); });
     closer.join();
 
@@ -287,6 +291,8 @@ TEST(Tracer, ConcurrentWorkerSpansKeepPerThreadDepths)
     constexpr int kThreads = 4;
     constexpr int kRounds = 25;
 
+    // lint: suppress(R4) per-thread depth accounting is the thing
+    // under test; raw threads give each worker its own os tid
     std::vector<std::thread> workers;
     workers.reserve(kThreads);
     for (int t = 0; t < kThreads; ++t) {

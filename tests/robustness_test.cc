@@ -52,8 +52,9 @@ TEST(Robustness, SingleLayerModelStillTraces)
     // output-projection kernels), which is genuine ambiguity. The
     // pipeline must stay well-formed either way.
     const auto res = df::detectLayerBoundaries(trace);
-    if (res.found())
+    if (res.found()) {
         EXPECT_LT(res.period, gen.groupSize());
+    }
     const auto cropped = df::cropToEncoderRegion(trace);
     EXPECT_FALSE(cropped.records.empty());
     EXPECT_LE(cropped.records.size(), trace.records.size());

@@ -519,8 +519,9 @@ TEST(CausalDecoder, MaskZerosFutureAttention)
         for (std::size_t i = 0; i < 5; ++i) {
             float row_sum = 0.0f;
             for (std::size_t j = 0; j < 5; ++j) {
-                if (j > i)
+                if (j > i) {
                     EXPECT_EQ(p.at(i, j), 0.0f);
+                }
                 row_sum += p.at(i, j);
             }
             EXPECT_NEAR(row_sum, 1.0f, 1e-5f);

@@ -1,0 +1,29 @@
+# ctest glue for the suppression-baseline gate: run decepticon-lint
+# over the repo, then diff the fresh JSON report against the
+# committed tools/lint/lint_baseline.json. New suppressions (or any
+# unsuppressed violation) fail — landing a suppression requires
+# regenerating the baseline so it shows up in review.
+#
+# Inputs: -DLINT_BIN=... -DREPO_ROOT=... -DOUT_JSON=...
+
+execute_process(
+    COMMAND ${LINT_BIN} --root ${REPO_ROOT}
+            --config ${REPO_ROOT}/tools/lint/layers.toml
+            --quiet --json ${OUT_JSON}
+    RESULT_VARIABLE lint_rc)
+# A non-zero lint exit just means violations exist; the python diff
+# below reports them with the baseline context, so only a missing
+# report file is fatal here.
+if(NOT EXISTS ${OUT_JSON})
+    message(FATAL_ERROR "decepticon-lint produced no report "
+                        "(exit ${lint_rc})")
+endif()
+
+find_program(PYTHON3 python3 REQUIRED)
+execute_process(
+    COMMAND ${PYTHON3} ${REPO_ROOT}/bench/bench_compare.py --lint-report
+            ${REPO_ROOT}/tools/lint/lint_baseline.json ${OUT_JSON}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "lint report deviates from committed baseline")
+endif()

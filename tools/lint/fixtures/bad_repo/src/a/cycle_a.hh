@@ -1,0 +1,7 @@
+// Half of an intra-module include cycle: one R2 hit (reported once).
+#ifndef LINT_FIXTURE_A_CYCLE_A_HH
+#define LINT_FIXTURE_A_CYCLE_A_HH
+
+#include "a/cycle_b.hh"
+
+#endif // LINT_FIXTURE_A_CYCLE_A_HH

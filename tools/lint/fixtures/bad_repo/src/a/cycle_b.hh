@@ -1,0 +1,7 @@
+// The other half of the cycle.
+#ifndef LINT_FIXTURE_A_CYCLE_B_HH
+#define LINT_FIXTURE_A_CYCLE_B_HH
+
+#include "a/cycle_a.hh"
+
+#endif // LINT_FIXTURE_A_CYCLE_B_HH

@@ -1,0 +1,17 @@
+// Every banned entropy/wall-clock source once: five R1 hits.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+entropySoup()
+{
+    int x = std::rand();
+    srand(42u);
+    std::random_device rd;
+    const long t = time(nullptr);
+    const auto n = std::chrono::steady_clock::now();
+    return x + static_cast<int>(rd()) + static_cast<int>(t) +
+           static_cast<int>(n.time_since_epoch().count());
+}

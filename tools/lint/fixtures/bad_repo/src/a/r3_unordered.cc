@@ -1,0 +1,22 @@
+// Unsuppressed range-for over an unordered container: one R3 hit.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::string
+joinKeys(const std::unordered_map<std::string, int> &m)
+{
+    std::string out;
+    for (const auto &kv : m)
+        out += kv.first;
+    return out;
+}
+
+int
+vectorLoopIsFine(const std::vector<int> &v)
+{
+    int s = 0;
+    for (int x : v)
+        s += x;
+    return s;
+}

@@ -1,0 +1,15 @@
+// Raw parallelism outside src/sched/: three R4 hits.
+#include <future>
+#include <thread>
+
+void
+rogueParallelism()
+{
+    std::thread t([] {});
+    auto f = std::async([] { return 1; });
+#pragma omp parallel for
+    for (int i = 0; i < 4; ++i) {
+    }
+    t.join();
+    f.get();
+}

@@ -1,0 +1,11 @@
+// getenv outside the shims plus an untagged to-do marker: two R5
+// hits.
+#include <cstdlib>
+
+// TODO make this faster somehow
+int
+rogueEnvRead()
+{
+    const char *s = std::getenv("ROGUE");
+    return s ? 1 : 0;
+}

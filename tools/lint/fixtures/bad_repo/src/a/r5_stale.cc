@@ -1,0 +1,17 @@
+// Suppression pathologies: a stale suppression (one R5 hit) and a
+// bare justification-free suppression that must NOT suppress (so the
+// underlying R1 still fires).
+#include <cstdlib>
+
+int
+cleanDespiteComment()
+{
+    // lint: suppress(R1) nothing on the next line actually fires
+    return 7;
+}
+
+int
+bareSuppressionDoesNotHide()
+{
+    return std::rand(); // lint: suppress(R1)
+}

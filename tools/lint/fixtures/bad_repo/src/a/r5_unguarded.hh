@@ -1,0 +1,11 @@
+// Header without any include guard: one R5 hit.
+
+namespace fixture_a {
+
+inline int
+unguarded()
+{
+    return 0;
+}
+
+} // namespace fixture_a

@@ -1,0 +1,8 @@
+// a (layer 0) reaching up into b (layer 1): one R2 hit.
+#include "b/top.hh"
+
+int
+reachUp()
+{
+    return fixture_b::topValue();
+}

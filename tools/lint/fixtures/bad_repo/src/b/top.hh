@@ -1,0 +1,14 @@
+#ifndef LINT_FIXTURE_B_TOP_HH
+#define LINT_FIXTURE_B_TOP_HH
+
+namespace fixture_b {
+
+inline int
+topValue()
+{
+    return 1;
+}
+
+} // namespace fixture_b
+
+#endif // LINT_FIXTURE_B_TOP_HH

@@ -1,0 +1,39 @@
+#include "a/clean.hh"
+
+#include <unordered_map>
+#include <vector>
+
+namespace fixture_a {
+
+int
+lookup(const std::map<std::string, int> &m, const std::string &k)
+{
+    const auto it = m.find(k);
+    return it == m.end() ? 0 : it->second;
+}
+
+// Mentions of std::rand() or steady_clock::now() inside comments and
+// string literals must never fire.
+const char *kDoc = "never call std::rand() or srand() here";
+
+int
+sumValues(const std::unordered_map<int, int> &histogram)
+{
+    int sum = 0;
+    // lint: ordered-ok integer addition commutes; the sum is
+    // order-independent by construction
+    for (const auto &kv : histogram)
+        sum += kv.second;
+    return sum;
+}
+
+std::vector<int>
+orderedLoop(const std::vector<int> &v)
+{
+    std::vector<int> out;
+    for (int x : v)
+        out.push_back(x + 1);
+    return out;
+}
+
+} // namespace fixture_a

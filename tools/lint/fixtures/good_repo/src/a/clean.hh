@@ -1,0 +1,19 @@
+// Guarded header, downward-only world: nothing here may fire.
+#ifndef LINT_FIXTURE_A_CLEAN_HH
+#define LINT_FIXTURE_A_CLEAN_HH
+
+#include <map>
+#include <string>
+#include <thread>
+
+namespace fixture_a {
+
+// std::thread::id is a type, not a spawn — R4 must stay silent.
+using Tid = std::thread::id;
+
+// TODO(#42): tagged todos are trackable and therefore fine.
+int lookup(const std::map<std::string, int> &m, const std::string &k);
+
+} // namespace fixture_a
+
+#endif // LINT_FIXTURE_A_CLEAN_HH

@@ -1,0 +1,20 @@
+// The one allowlisted home for wall-clock reads (mirrors
+// src/obs/clock.hh in the real tree).
+#ifndef LINT_FIXTURE_A_CLOCK_SHIM_HH
+#define LINT_FIXTURE_A_CLOCK_SHIM_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace fixture_a {
+
+inline std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+} // namespace fixture_a
+
+#endif // LINT_FIXTURE_A_CLOCK_SHIM_HH

@@ -1,0 +1,14 @@
+// The one allowlisted env reader (mirrors the DECEPTICON_* spec
+// parsers in the real tree).
+#include <cstdlib>
+
+namespace fixture_a {
+
+const char *
+envSpec()
+{
+    const char *s = std::getenv("FIXTURE_SPEC");
+    return s ? s : "";
+}
+
+} // namespace fixture_a

@@ -1,0 +1,12 @@
+// b sits above a: this include flows downward and is legal.
+#include "a/clean.hh"
+
+namespace fixture_b {
+
+int
+callDown()
+{
+    return fixture_a::lookup({}, "k");
+}
+
+} // namespace fixture_b

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * R2 for decepticon-lint: build the quoted-#include graph across
+ * src/, enforce the declared subsystem partial order (an edge
+ * a -> b is legal iff rank(a) > rank(b) or a == b), and reject
+ * file-level include cycles. Only files under src/ contribute
+ * edges — tests/bench/examples sit above every layer by
+ * construction.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <functional>
+
+namespace decepticon::lint {
+
+namespace {
+
+struct Include
+{
+    std::string target; ///< path as written, e.g. "util/rng.hh"
+    int line = 0;
+};
+
+/** Quoted includes from the code view (angle includes are system
+ *  headers and carry no layering information). */
+std::vector<Include>
+quotedIncludes(const SourceFile &f)
+{
+    std::vector<Include> out;
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+        const std::string &s = f.code[li];
+        const std::size_t h = s.find('#');
+        if (h == std::string::npos ||
+            s.find("include", h) == std::string::npos)
+            continue;
+        const std::size_t q1 = s.find('"', h);
+        if (q1 == std::string::npos)
+            continue;
+        const std::size_t q2 = s.find('"', q1 + 1);
+        if (q2 == std::string::npos)
+            continue;
+        // The code view blanks string contents; read from raw.
+        out.push_back({f.raw[li].substr(q1 + 1, q2 - q1 - 1),
+                       static_cast<int>(li + 1)});
+    }
+    return out;
+}
+
+std::string
+moduleOf(const std::string &srcRelPath)
+{
+    const std::size_t slash = srcRelPath.find('/');
+    return slash == std::string::npos ? std::string()
+                                      : srcRelPath.substr(0, slash);
+}
+
+} // namespace
+
+void
+checkIncludeGraph(std::vector<SourceFile> &files, const Config &cfg,
+                  Report &out)
+{
+    // Index of src-relative path -> position in `files` for cycle
+    // walking, plus the per-file adjacency built as we rank-check.
+    std::map<std::string, std::size_t> byScrPath;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const std::string &p = files[i].path;
+        if (p.rfind("src/", 0) == 0)
+            byScrPath[p.substr(4)] = i;
+    }
+
+    std::map<std::string, std::vector<std::pair<std::string, int>>> adj;
+    for (SourceFile &f : files) {
+        if (f.path.rfind("src/", 0) != 0)
+            continue;
+        const std::string fromRel = f.path.substr(4);
+        const std::string fromMod = moduleOf(fromRel);
+        for (const Include &inc : quotedIncludes(f)) {
+            const std::string toMod = moduleOf(inc.target);
+            if (toMod.empty() || !cfg.layerOf.count(toMod))
+                continue; // not a subsystem header (e.g. local file)
+            if (byScrPath.count(inc.target))
+                adj[fromRel].push_back({inc.target, inc.line});
+            if (!cfg.layerOf.count(fromMod)) {
+                emitViolation(f, inc.line, "R2",
+                              "module '" + fromMod +
+                                  "' is not declared in the layers "
+                                  "config — add it to layers.toml",
+                              out);
+                continue;
+            }
+            if (fromMod == toMod)
+                continue;
+            if (cfg.allowEdges.count({fromMod, toMod}))
+                continue;
+            const int fromRank = cfg.layerOf.at(fromMod);
+            const int toRank = cfg.layerOf.at(toMod);
+            if (fromRank <= toRank) {
+                emitViolation(
+                    f, inc.line, "R2",
+                    "layering violation: " + fromMod + " (layer " +
+                        std::to_string(fromRank) + ") must not include " +
+                        toMod + " (layer " + std::to_string(toRank) +
+                        ") — the subsystem DAG flows strictly downward",
+                    out);
+            }
+        }
+    }
+
+    // File-level cycle detection (include guards make a cycle build,
+    // but the dependency knot is real and always a design bug).
+    // Deterministic: files visited in sorted order, includes in file
+    // order; the first cycle found is reported once.
+    enum class Mark
+    {
+        White,
+        Grey,
+        Black
+    };
+    std::map<std::string, Mark> mark;
+    std::vector<std::string> stack;
+    std::vector<std::string> cycle;
+
+    std::function<bool(const std::string &)> dfs =
+        [&](const std::string &node) -> bool {
+        mark[node] = Mark::Grey;
+        stack.push_back(node);
+        auto it = adj.find(node);
+        if (it != adj.end()) {
+            for (const auto &[next, line] : it->second) {
+                (void)line;
+                if (mark[next] == Mark::Grey) {
+                    const auto at =
+                        std::find(stack.begin(), stack.end(), next);
+                    cycle.assign(at, stack.end());
+                    cycle.push_back(next);
+                    return true;
+                }
+                if (mark[next] == Mark::White && dfs(next))
+                    return true;
+            }
+        }
+        stack.pop_back();
+        mark[node] = Mark::Black;
+        return false;
+    };
+
+    for (const auto &[path, idx] : byScrPath) {
+        (void)idx;
+        if (mark[path] == Mark::White && dfs(path)) {
+            std::string desc = "include cycle: ";
+            for (std::size_t i = 0; i < cycle.size(); ++i) {
+                if (i)
+                    desc += " -> ";
+                desc += cycle[i];
+            }
+            SourceFile &f = files[byScrPath.at(cycle.front())];
+            emitViolation(f, 1, "R2", desc, out);
+            break;
+        }
+    }
+}
+
+} // namespace decepticon::lint

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * decepticon-lint: in-repo static analysis enforcing the invariants
+ * the reproduction rests on. The runtime determinism suite proves
+ * bit-identity empirically; this tool makes the same invariants cheap
+ * and exhaustive at rest, before a single test runs:
+ *
+ *   R1  banned nondeterminism — std::rand/srand, random_device,
+ *       argless time(), and steady/system/high_resolution_clock::now
+ *       outside the allowlisted clock shim and bench timing harness.
+ *   R2  layering — the src/ #include graph must respect the declared
+ *       subsystem partial order (tools/lint/layers.toml) and be
+ *       acyclic at file granularity.
+ *   R3  unordered-iteration hazard — range-for over
+ *       std::unordered_{map,set,multimap,multiset} in files tagged
+ *       deterministic, unless the line carries a justified
+ *       `// lint: ordered-ok <why>`.
+ *   R4  raw-thread ban — std::thread/std::jthread/std::async and
+ *       `#pragma omp` anywhere except src/sched/ (all parallelism
+ *       goes through the deterministic pool).
+ *   R5  hygiene — headers without an include guard, getenv outside
+ *       the config shims, TODO/FIXME without an issue tag, and stale
+ *       (unused) suppression comments.
+ *
+ * Deliberately not built on libclang: a deterministic token/line
+ * scanner plus an include-graph builder covers every rule above, has
+ * zero dependencies, and produces byte-identical reports across runs
+ * and hosts.
+ *
+ * Suppression syntax (justification text is mandatory — a bare
+ * suppression does not suppress):
+ *
+ *   code();            // lint: suppress(R4) tests the pool itself
+ *   // lint: ordered-ok keys re-sorted downstream   (alias: R3)
+ *   // lint-file: suppress(R1) this file IS the clock shim
+ *
+ * A line suppression on a comment-only line applies to the next line.
+ */
+
+#ifndef DECEPTICON_TOOLS_LINT_LINT_HH
+#define DECEPTICON_TOOLS_LINT_LINT_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace decepticon::lint {
+
+/** Parsed tools/lint/layers.toml (a deliberately tiny TOML subset:
+ *  `[section]` headers, `key = value` pairs, and bare-value list
+ *  entries; `#` starts a comment). */
+struct Config
+{
+    /** [layers] module -> rank. An edge a -> b is legal iff
+     *  rank(a) > rank(b) (or a == b). */
+    std::map<std::string, int> layerOf;
+    /** [r2.allow_edges] "from -> to" module pairs exempt from the
+     *  rank check. */
+    std::set<std::pair<std::string, std::string>> allowEdges;
+    /** [r1.allow_files] repo-relative files where wall-clock /
+     *  entropy calls are the point (clock shim, bench timing). */
+    std::set<std::string> r1AllowFiles;
+    /** [r3.paths] path prefixes tagged deterministic. */
+    std::vector<std::string> r3Paths;
+    /** [r4.allow_dirs] directory prefixes where raw threads are
+     *  allowed (the scheduler implementation). */
+    std::vector<std::string> r4AllowDirs;
+    /** [r5.env_allow_files] the config shims allowed to getenv. */
+    std::set<std::string> r5EnvAllowFiles;
+    /** [scan.roots] directories walked under --root. */
+    std::vector<std::string> scanRoots;
+};
+
+/** Parse a config file. Returns false and sets *error on failure. */
+bool loadConfig(const std::string &path, Config &out, std::string *error);
+
+struct Violation
+{
+    std::string file; ///< repo-relative, '/' separators
+    int line = 0;
+    std::string rule; ///< "R1".."R5"
+    std::string message;
+    std::string justification; ///< non-empty only for suppressed hits
+};
+
+struct Report
+{
+    std::vector<Violation> violations; ///< unsuppressed — these fail CI
+    std::vector<Violation> suppressed; ///< visible in review via baseline
+    std::size_t filesScanned = 0;
+    std::map<std::string, int> countsByRule; ///< unsuppressed, per rule
+};
+
+/** One suppression comment, matched to uses as rules fire. */
+struct Suppression
+{
+    std::string rule;          ///< "R1".."R5"
+    std::string justification; ///< text after the rule token, trimmed
+    int line = 0;              ///< line the suppression targets
+    bool used = false;
+};
+
+/** A loaded source file: raw lines plus a comment/string-blanked code
+ *  view (same line structure), comment text per line, and parsed
+ *  suppressions. */
+struct SourceFile
+{
+    std::string path;                  ///< repo-relative
+    std::vector<std::string> raw;      ///< verbatim lines
+    std::vector<std::string> code;     ///< literals/comments blanked
+    std::vector<std::string> comments; ///< comment text per line
+    std::vector<Suppression> lineSuppressions;
+    std::vector<Suppression> fileSuppressions;
+
+    bool isHeader() const;
+};
+
+/** Load and pre-process one file. Returns false if unreadable. */
+bool loadSource(const std::string &absPath, const std::string &relPath,
+                SourceFile &out);
+
+/** Run rules R1, R3, R4, R5 on one file. */
+void checkFile(SourceFile &f, const Config &cfg, Report &out);
+
+/** Run R2 (layer ranks + file-level cycles) over all loaded files. */
+void checkIncludeGraph(std::vector<SourceFile> &files, const Config &cfg,
+                       Report &out);
+
+/** After all rules ran: flag stale suppressions (R5). */
+void checkUnusedSuppressions(const SourceFile &f, Report &out);
+
+/** Walk cfg.scanRoots under root, run every rule, sort + count. */
+Report runLint(const std::string &root, const Config &cfg);
+
+/** Deterministic ordering + counts (runLint calls this). */
+void finalize(Report &r);
+
+/** `file:line: [rule] message` lines, one per violation. */
+std::string renderText(const Report &r);
+
+/** Machine-readable report; byte-identical across runs. */
+std::string renderJson(const Report &r);
+
+/** Record a rule hit against file f at 1-based line `line`: consumes
+ *  a matching justified suppression or appends to out.violations. */
+void emitViolation(SourceFile &f, int line, const std::string &rule,
+                   const std::string &message, Report &out);
+
+} // namespace decepticon::lint
+
+#endif // DECEPTICON_TOOLS_LINT_LINT_HH

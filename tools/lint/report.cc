@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Orchestration and rendering for decepticon-lint: deterministic
+ * directory walk, rule dispatch, stable ordering, and the text/JSON
+ * renderers. The JSON report is byte-identical across runs — no
+ * timestamps, no host paths, fully sorted — so it can be diffed
+ * against a committed baseline in review
+ * (`bench/bench_compare.py --lint-report`).
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace decepticon::lint {
+
+namespace {
+
+bool
+lintableFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".cxx" ||
+           ext == ".hh" || ext == ".h" || ext == ".hpp";
+}
+
+/** All lintable files under root/<scanRoots>, repo-relative with '/'
+ *  separators, sorted — the walk order never depends on the
+ *  filesystem's enumeration order. */
+std::vector<std::string>
+collectFiles(const std::string &root, const Config &cfg)
+{
+    std::vector<std::string> rel;
+    for (const std::string &sub : cfg.scanRoots) {
+        const fs::path base = fs::path(root) / sub;
+        if (!fs::exists(base))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file() || !lintableFile(entry.path()))
+                continue;
+            rel.push_back(
+                fs::relative(entry.path(), root).generic_string());
+        }
+    }
+    std::sort(rel.begin(), rel.end());
+    rel.erase(std::unique(rel.begin(), rel.end()), rel.end());
+    return rel;
+}
+
+bool
+violationLess(const Violation &a, const Violation &b)
+{
+    if (a.file != b.file)
+        return a.file < b.file;
+    if (a.line != b.line)
+        return a.line < b.line;
+    if (a.rule != b.rule)
+        return a.rule < b.rule;
+    return a.message < b.message;
+}
+
+void
+jsonEscape(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+renderViolationList(std::ostringstream &os,
+                    const std::vector<Violation> &list)
+{
+    os << "[";
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        const Violation &v = list[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"file\": ";
+        jsonEscape(os, v.file);
+        os << ", \"line\": " << v.line << ", \"rule\": ";
+        jsonEscape(os, v.rule);
+        os << ", \"message\": ";
+        jsonEscape(os, v.message);
+        if (!v.justification.empty()) {
+            os << ", \"justification\": ";
+            jsonEscape(os, v.justification);
+        }
+        os << "}";
+    }
+    os << (list.empty() ? "]" : "\n  ]");
+}
+
+} // namespace
+
+void
+finalize(Report &r)
+{
+    std::sort(r.violations.begin(), r.violations.end(), violationLess);
+    std::sort(r.suppressed.begin(), r.suppressed.end(), violationLess);
+    r.countsByRule.clear();
+    for (const Violation &v : r.violations)
+        ++r.countsByRule[v.rule];
+}
+
+Report
+runLint(const std::string &root, const Config &cfg)
+{
+    Report report;
+    std::vector<SourceFile> files;
+    for (const std::string &rel : collectFiles(root, cfg)) {
+        SourceFile f;
+        if (!loadSource((fs::path(root) / rel).string(), rel, f))
+            continue;
+        files.push_back(std::move(f));
+    }
+    report.filesScanned = files.size();
+    for (SourceFile &f : files)
+        checkFile(f, cfg, report);
+    checkIncludeGraph(files, cfg, report);
+    for (const SourceFile &f : files)
+        checkUnusedSuppressions(f, report);
+    finalize(report);
+    return report;
+}
+
+std::string
+renderText(const Report &r)
+{
+    std::ostringstream os;
+    for (const Violation &v : r.violations)
+        os << v.file << ":" << v.line << ": [" << v.rule << "] "
+           << v.message << "\n";
+    os << r.filesScanned << " files scanned, " << r.violations.size()
+       << " violation(s), " << r.suppressed.size() << " suppressed\n";
+    return os.str();
+}
+
+std::string
+renderJson(const Report &r)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"tool\": \"decepticon-lint\",\n";
+    os << "  \"schema_version\": 1,\n";
+    os << "  \"files_scanned\": " << r.filesScanned << ",\n";
+    os << "  \"counts\": {";
+    bool first = true;
+    for (const auto &[rule, n] : r.countsByRule) {
+        os << (first ? "" : ", ");
+        jsonEscape(os, rule);
+        os << ": " << n;
+        first = false;
+    }
+    os << "},\n";
+    os << "  \"violations\": ";
+    renderViolationList(os, r.violations);
+    os << ",\n  \"suppressed\": ";
+    renderViolationList(os, r.suppressed);
+    os << "\n}\n";
+    return os.str();
+}
+
+} // namespace decepticon::lint

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Per-file rules for decepticon-lint: R1 (banned nondeterminism),
+ * R3 (unordered-iteration hazard), R4 (raw-thread ban), R5 (hygiene).
+ * All token-level checks run over the comment/string-blanked code
+ * view, so `"std::rand()"` in a log string or a doc comment never
+ * fires.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace decepticon::lint {
+
+namespace {
+
+struct Token
+{
+    std::string text;
+    int line = 0;    ///< 1-based
+    bool ident = false;
+};
+
+/** Tokenize the code view into identifiers and punctuation. `::` is
+ *  one token; every other punctuation char is its own token. */
+std::vector<Token>
+tokenize(const SourceFile &f)
+{
+    std::vector<Token> toks;
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+        const std::string &s = f.code[li];
+        const int line = static_cast<int>(li + 1);
+        for (std::size_t i = 0; i < s.size();) {
+            const unsigned char c = static_cast<unsigned char>(s[i]);
+            if (std::isspace(c)) {
+                ++i;
+            } else if (std::isalpha(c) || c == '_') {
+                std::size_t b = i;
+                while (i < s.size() &&
+                       (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                        s[i] == '_'))
+                    ++i;
+                toks.push_back({s.substr(b, i - b), line, true});
+            } else if (std::isdigit(c)) {
+                std::size_t b = i;
+                while (i < s.size() &&
+                       (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                        s[i] == '.'))
+                    ++i;
+                toks.push_back({s.substr(b, i - b), line, false});
+            } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+                toks.push_back({"::", line, false});
+                i += 2;
+            } else {
+                toks.push_back({std::string(1, s[i]), line, false});
+                ++i;
+            }
+        }
+    }
+    return toks;
+}
+
+bool
+hasPrefix(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/** True if `path` lies under any of the directory prefixes. */
+bool
+underAny(const std::string &path, const std::vector<std::string> &dirs)
+{
+    for (const std::string &d : dirs)
+        if (hasPrefix(path, d + "/") || path == d)
+            return true;
+    return false;
+}
+
+const std::string &
+tokText(const std::vector<Token> &t, std::size_t i)
+{
+    static const std::string empty;
+    return i < t.size() ? t[i].text : empty;
+}
+
+/** Is token i qualified as std::X (directly or via nested ::)? Bare
+ *  (unqualified) uses also count — `using namespace std` exists — but
+ *  `foo::X` / `obj.X` / `obj->X` do not. */
+bool
+stdQualifiedOrBare(const std::vector<Token> &t, std::size_t i)
+{
+    if (i >= 2 && t[i - 1].text == "::")
+        return t[i - 2].text == "std";
+    if (i >= 1 && (t[i - 1].text == "." || t[i - 1].text == ">"))
+        return false; // member access (`->` tokenizes as `-` `>`)
+    return true;
+}
+
+bool
+isUnorderedContainer(const std::string &id)
+{
+    return id == "unordered_map" || id == "unordered_set" ||
+           id == "unordered_multimap" || id == "unordered_multiset";
+}
+
+/** Skip a balanced <...> template argument list starting at t[i]
+ *  (which must be "<"). Returns the index one past the closing ">",
+ *  or i if the list never closes. */
+std::size_t
+skipTemplateArgs(const std::vector<Token> &t, std::size_t i)
+{
+    if (tokText(t, i) != "<")
+        return i;
+    int depth = 0;
+    std::size_t k = i;
+    for (; k < t.size(); ++k) {
+        if (t[k].text == "<")
+            ++depth;
+        else if (t[k].text == ">" && --depth == 0)
+            return k + 1;
+        else if (t[k].text == ";")
+            break; // statement ended: was a comparison, not a template
+    }
+    return i;
+}
+
+// --- R1: banned nondeterminism ------------------------------------
+
+void
+checkR1(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
+        Report &out)
+{
+    if (cfg.r1AllowFiles.count(f.path))
+        return;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].ident)
+            continue;
+        const std::string &id = t[i].text;
+        if ((id == "rand" || id == "srand") && tokText(t, i + 1) == "(" &&
+            stdQualifiedOrBare(t, i)) {
+            emitViolation(f, t[i].line, "R1",
+                          "call to " + id +
+                              "(): use util::Rng (seed-derived) instead",
+                          out);
+        } else if (id == "random_device" && stdQualifiedOrBare(t, i)) {
+            emitViolation(f, t[i].line, "R1",
+                          "std::random_device is entropy, not "
+                          "reproducible: derive seeds via util::Rng::split",
+                          out);
+        } else if (id == "time" && tokText(t, i + 1) == "(" &&
+                   stdQualifiedOrBare(t, i)) {
+            const std::string &arg = tokText(t, i + 2);
+            if (arg == ")" || ((arg == "0" || arg == "NULL" ||
+                                arg == "nullptr") &&
+                               tokText(t, i + 3) == ")")) {
+                emitViolation(f, t[i].line, "R1",
+                              "wall-clock time() call: timestamps must "
+                              "come from obs::SteadyClock",
+                              out);
+            }
+        } else if ((id == "steady_clock" || id == "system_clock" ||
+                    id == "high_resolution_clock") &&
+                   tokText(t, i + 1) == "::" &&
+                   tokText(t, i + 2) == "now") {
+            emitViolation(f, t[i].line, "R1",
+                          id + "::now() outside the clock shim: inject "
+                               "obs::Clock so tests can fake time",
+                          out);
+        }
+    }
+}
+
+// --- R3: unordered-iteration hazard -------------------------------
+
+void
+checkR3(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
+        Report &out)
+{
+    if (!underAny(f.path, cfg.r3Paths))
+        return;
+
+    // Pass 1: names declared with an unordered container type
+    // anywhere in this file (declaration and iteration usually share
+    // a file; member declarations in a paired header are out of
+    // reach of a single-TU scan and are caught by the token fallback
+    // below when the range expression names the container type).
+    std::set<std::string> unorderedNames;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].ident || !isUnorderedContainer(t[i].text))
+            continue;
+        std::size_t k = skipTemplateArgs(t, i + 1);
+        if (k == i + 1)
+            continue; // no template args in sight
+        // `std::unordered_map<K, V> name` — possibly with &, *, or
+        // qualifiers between.
+        while (tokText(t, k) == "&" || tokText(t, k) == "*")
+            ++k;
+        if (k < t.size() && t[k].ident && t[k].text != "const")
+            unorderedNames.insert(t[k].text);
+    }
+
+    // Pass 2: range-for statements whose range expression names a
+    // declared-unordered variable or an unordered container type.
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].ident || t[i].text != "for" || tokText(t, i + 1) != "(")
+            continue;
+        int depth = 0;
+        std::size_t colon = 0, close = 0;
+        for (std::size_t k = i + 1; k < t.size(); ++k) {
+            if (t[k].text == "(") {
+                ++depth;
+            } else if (t[k].text == ")") {
+                if (--depth == 0) {
+                    close = k;
+                    break;
+                }
+            } else if (t[k].text == ":" && depth == 1 && colon == 0) {
+                colon = k;
+            }
+        }
+        if (colon == 0 || close == 0)
+            continue; // classic for, or unterminated
+        for (std::size_t k = colon + 1; k < close; ++k) {
+            if (!t[k].ident)
+                continue;
+            if (unorderedNames.count(t[k].text) ||
+                isUnorderedContainer(t[k].text)) {
+                emitViolation(
+                    f, t[i].line, "R3",
+                    "range-for over unordered container '" + t[k].text +
+                        "': iteration order is not deterministic "
+                        "(sort keys, use std::map, or justify with "
+                        "`// lint: ordered-ok <why>`)",
+                    out);
+                break;
+            }
+        }
+    }
+}
+
+// --- R4: raw-thread ban -------------------------------------------
+
+void
+checkR4(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
+        Report &out)
+{
+    if (underAny(f.path, cfg.r4AllowDirs))
+        return;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].ident)
+            continue;
+        const std::string &id = t[i].text;
+        const bool stdQual = i >= 2 && t[i - 1].text == "::" &&
+                             t[i - 2].text == "std";
+        if ((id == "thread" || id == "jthread") && stdQual &&
+            tokText(t, i + 1) != "::") {
+            // std::thread::id etc. are types, not spawns — allowed.
+            emitViolation(f, t[i].line, "R4",
+                          "raw std::" + id +
+                              ": all parallelism goes through "
+                              "sched::ThreadPool (deterministic, "
+                              "DECEPTICON_THREADS-sized)",
+                          out);
+        } else if (id == "async" && stdQual) {
+            emitViolation(f, t[i].line, "R4",
+                          "std::async spawns unmanaged threads: use "
+                          "sched::parallelFor / ThreadPool",
+                          out);
+        }
+    }
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+        const std::string &s = f.code[li];
+        const std::size_t h = s.find('#');
+        if (h == std::string::npos)
+            continue;
+        if (s.find("pragma", h) != std::string::npos &&
+            s.find(" omp", h) != std::string::npos) {
+            emitViolation(f, static_cast<int>(li + 1), "R4",
+                          "raw `#pragma omp`: OpenMP scheduling is not "
+                          "deterministic across hosts; use sched::",
+                          out);
+        }
+    }
+}
+
+// --- R5: hygiene ---------------------------------------------------
+
+void
+checkR5(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
+        Report &out)
+{
+    // (a) headers need an include guard: `#pragma once` or a leading
+    // `#ifndef X` / `#define X` pair.
+    if (f.isHeader()) {
+        bool guarded = false;
+        std::string ifndefName;
+        for (std::size_t li = 0; li < f.code.size() && !guarded; ++li) {
+            const std::string &s = f.code[li];
+            const std::size_t h = s.find('#');
+            if (h == std::string::npos)
+                continue;
+            if (s.find("pragma", h) != std::string::npos &&
+                s.find("once", h) != std::string::npos) {
+                guarded = true;
+            } else if (ifndefName.empty()) {
+                const std::size_t p = s.find("ifndef", h);
+                if (p != std::string::npos) {
+                    std::size_t b = p + 6;
+                    while (b < s.size() &&
+                           std::isspace(static_cast<unsigned char>(s[b])))
+                        ++b;
+                    std::size_t e = b;
+                    while (e < s.size() &&
+                           (std::isalnum(
+                                static_cast<unsigned char>(s[e])) ||
+                            s[e] == '_'))
+                        ++e;
+                    ifndefName = s.substr(b, e - b);
+                } else {
+                    break; // first directive is neither — unguarded
+                }
+            } else if (s.find("define", h) != std::string::npos &&
+                       s.find(ifndefName, h) != std::string::npos) {
+                guarded = true;
+            } else {
+                break; // #ifndef not followed by matching #define
+            }
+        }
+        if (!guarded)
+            emitViolation(f, 1, "R5",
+                          "header without an include guard (#pragma "
+                          "once or #ifndef/#define pair)",
+                          out);
+    }
+
+    // (b) getenv outside the config shims.
+    if (!cfg.r5EnvAllowFiles.count(f.path)) {
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i].ident && t[i].text == "getenv" &&
+                tokText(t, i + 1) == "(" && stdQualifiedOrBare(t, i)) {
+                emitViolation(f, t[i].line, "R5",
+                              "getenv outside the config shims: route "
+                              "env knobs through the owning subsystem's "
+                              "spec parser",
+                              out);
+            }
+        }
+    }
+
+    // (c) TODO/FIXME must carry an issue tag (#123 or ISSUE-...).
+    for (std::size_t li = 0; li < f.comments.size(); ++li) {
+        const std::string &com = f.comments[li];
+        const std::size_t at = std::min(com.find("TODO"), com.find("FIXME"));
+        if (at == std::string::npos)
+            continue;
+        bool tagged = com.find("ISSUE") != std::string::npos;
+        for (std::size_t k = 0; !tagged && k + 1 < com.size(); ++k)
+            if (com[k] == '#' &&
+                std::isdigit(static_cast<unsigned char>(com[k + 1])))
+                tagged = true;
+        if (!tagged)
+            emitViolation(f, static_cast<int>(li + 1), "R5",
+                          "TODO/FIXME without an issue tag (add "
+                          "`(#N)` or `ISSUE-N` so it is trackable)",
+                          out);
+    }
+}
+
+} // namespace
+
+void
+checkFile(SourceFile &f, const Config &cfg, Report &out)
+{
+    const std::vector<Token> toks = tokenize(f);
+    checkR1(f, toks, cfg, out);
+    checkR3(f, toks, cfg, out);
+    checkR4(f, toks, cfg, out);
+    checkR5(f, toks, cfg, out);
+}
+
+} // namespace decepticon::lint
