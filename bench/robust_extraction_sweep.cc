@@ -15,24 +15,38 @@
  * hammer-round overhead the resilience costs. It also replays one
  * faulty run to verify fault injection is bit-for-bit deterministic.
  *
+ * Part C sweeps which evidence channels survive (timestamp / power /
+ * thermal / profiler availability subsets) crossed with side-channel
+ * fault severity, and reports fused identification accuracy, the
+ * explicit insufficient-evidence fraction, and mean confidence from
+ * identifyFused()'s confidence-weighted late fusion.
+ *
  * Shape checks (exit non-zero on failure):
  *  - identical FaultSpec seeds produce identical ExtractionStats;
  *  - at drop rate 2%, resilient identification accuracy stays >= 0.6;
  *  - at probe flip rate 1e-3, the resilient clone's error stays
  *    within 2x of the fault-free clone's;
  *  - at flip rate 1e-2, disabling resilience measurably increases
- *    clone error.
+ *    clone error;
+ *  - with the timestamp channel jammed and the other three healthy,
+ *    fused accuracy stays >= 0.7;
+ *  - all-channels-healthy accuracy never drops below timestamp-only;
+ *  - total channel blackout always reports insufficient evidence.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "bench/workloads.hh"
 #include "core/decepticon.hh"
 #include "extraction/cloner.hh"
+#include "fault/channel.hh"
 #include "fault/fault.hh"
+#include "gpusim/emission.hh"
 #include "gpusim/trace_generator.hh"
 #include "obs/metrics.hh"
 #include "sched/sched.hh"
@@ -292,6 +306,135 @@ main()
               << serial_seconds << " s, parallel " << parallel_seconds
               << " s on " << sweep_lanes << " lanes)\n";
 
+    // ---- Part C: multi-modal fusion under channel blackouts ----
+    // Sweep which evidence channels survive (timestamp / power /
+    // thermal / profiler) crossed with side-channel fault severity,
+    // and measure fused identification accuracy, the explicit
+    // insufficient-evidence fraction, and mean decision confidence.
+    struct ChannelConfig
+    {
+        const char *name;
+        bool ts, power, thermal, profiler;
+    };
+    const ChannelConfig cconfigs[] = {
+        {"all", true, true, true, true},
+        {"ts_only", true, false, false, false},
+        {"no_ts", false, true, true, true},
+        {"power_only", false, true, false, false},
+        {"profiler_only", false, false, false, true},
+        {"none", false, false, false, false},
+    };
+    const gpusim::EmissionOptions eopts;
+    util::Table tc({"channels", "severity", "fused acc",
+                    "insufficient", "mean conf"});
+    double acc_all_clean = 0.0, acc_ts_only_clean = 0.0,
+           acc_no_ts_clean = 0.0;
+    double none_insufficient = 1.0;
+    for (const auto &cc : cconfigs) {
+        for (double severity : {0.0, 0.4}) {
+            fault::MultiChannelFaultSpec mspec;
+            mspec.seed = 0xfade;
+            const auto side = [&](fault::Channel channel, bool on) {
+                auto &s = mspec.at(channel);
+                if (!on) {
+                    s.jammed = true;
+                    return;
+                }
+                s.dropoutRate = 0.3 * severity;
+                s.truncateProbability = 0.5 * severity;
+                s.noiseSigma = 0.3 * severity;
+                s.quantStep = 0.05 * severity;
+            };
+            mspec.at(fault::Channel::Timestamp).jammed = !cc.ts;
+            side(fault::Channel::Power, cc.power);
+            side(fault::Channel::Thermal, cc.thermal);
+            side(fault::Channel::Profiler, cc.profiler);
+            fault::MultiChannelFaultModel mfaults(mspec);
+
+            // Timestamp captures (when up) carry mild record faults
+            // that worsen with severity, like Part A's sweep.
+            fault::FaultSpec tspec2;
+            tspec2.recordDropRate = 0.02 * (1.0 + severity);
+            tspec2.recordDuplicateRate = 0.01;
+            tspec2.seed = 616;
+            fault::FaultInjector tsinj(tspec2);
+
+            std::size_t ok = 0, insufficient = 0, total = 0;
+            double conf_sum = 0.0;
+            std::uint64_t cap_seed = 0;
+            for (const auto *victim : pool.finetuned()) {
+                const gpusim::TraceGenerator gen(victim->signature);
+                const auto clean_trace =
+                    gen.generate(victim->arch, 0x1ceULL + total);
+                const auto power = gpusim::emitPowerTrace(
+                    clean_trace, eopts, 0x1ceULL + total);
+                const auto thermal = gpusim::emitThermalTrace(
+                    clean_trace, eopts, 0x1ceULL + total);
+                const auto counters = gpusim::emitProfilerCounters(
+                    clean_trace, eopts, 0x1ceULL + total);
+                core::MultiChannelCapture mc;
+                for (std::size_t r = 0; r < 3; ++r) {
+                    ++cap_seed;
+                    if (cc.ts)
+                        mc.timestampCaptures.push_back(
+                            tsinj.corruptTrace(clean_trace, cap_seed));
+                    mc.powerCaptures.push_back(mfaults.corrupt(
+                        fault::Channel::Power, power, cap_seed));
+                    mc.thermalCaptures.push_back(mfaults.corrupt(
+                        fault::Channel::Thermal, thermal, cap_seed));
+                    mc.profilerCaptures.push_back(mfaults.corrupt(
+                        fault::Channel::Profiler, counters, cap_seed));
+                }
+                const auto res = pipeline.identifyFused(mc);
+                if (res.insufficientEvidence)
+                    ++insufficient;
+                else if (res.pretrainedName == victim->pretrainedName)
+                    ++ok;
+                conf_sum += res.insufficientEvidence
+                                ? 0.0
+                                : (res.usedChannelFusion
+                                       ? res.fusedConfidence
+                                       : res.topProbability);
+                ++total;
+            }
+            const double acc = static_cast<double>(ok) /
+                               static_cast<double>(total);
+            const double insufficient_frac =
+                static_cast<double>(insufficient) /
+                static_cast<double>(total);
+            const double mean_conf =
+                conf_sum / static_cast<double>(total);
+            if (severity == 0.0) {
+                if (std::string(cc.name) == "all")
+                    acc_all_clean = acc;
+                if (std::string(cc.name) == "ts_only")
+                    acc_ts_only_clean = acc;
+                if (std::string(cc.name) == "no_ts")
+                    acc_no_ts_clean = acc;
+            }
+            if (std::string(cc.name) == "none")
+                none_insufficient =
+                    std::min(none_insufficient, insufficient_frac);
+            tc.row()
+                .cell(cc.name)
+                .cell(severity, 1)
+                .cell(acc, 3)
+                .cell(insufficient_frac, 3)
+                .cell(mean_conf, 3);
+            std::ostringstream loss;
+            loss << "sweep.fusion." << cc.name << "." << severity;
+            bench_reg.setGauge(loss.str() + ".acc", acc);
+            bench_reg.setGauge(loss.str() + ".insufficient_frac",
+                               insufficient_frac);
+            bench_reg.setGauge(loss.str() + ".mean_confidence",
+                               mean_conf);
+        }
+    }
+    util::printBanner(std::cout,
+                      "Level 1: fused identification vs channel "
+                      "availability (R=3 captures)");
+    tc.printAscii(std::cout);
+
     // Determinism: identical FaultSpec seeds must replay identically.
     const CloneOutcome rep_a = run_clone(*victim, 1e-3, true);
     const CloneOutcome rep_b = run_clone(*victim, 1e-3, true);
@@ -317,6 +460,19 @@ main()
         std::cout << "FAIL: disabling resilience did not degrade the "
                      "clone\n";
 
+    const bool fusion_no_ts_ok = acc_no_ts_clean >= 0.7;
+    const bool fusion_healthy_ok = acc_all_clean >= acc_ts_only_clean;
+    const bool fusion_blackout_ok = none_insufficient >= 1.0;
+    if (!fusion_no_ts_ok)
+        std::cout << "FAIL: fused identification below 0.7 with the "
+                     "timestamp channel jammed\n";
+    if (!fusion_healthy_ok)
+        std::cout << "FAIL: all-channels-healthy accuracy fell below "
+                     "timestamp-only\n";
+    if (!fusion_blackout_ok)
+        std::cout << "FAIL: total channel blackout did not report "
+                     "insufficient evidence\n";
+
     if (!sweep_par_ok)
         std::cout << "FAIL: parallel sweep outcomes diverged from the "
                      "serial reference\n";
@@ -339,7 +495,9 @@ main()
         out << "\n";
     }
     std::cout << "wrote BENCH_robust_extraction_sweep.json\n";
-    return det_ok && id_ok && error_ok && degrade_ok && sweep_par_ok
+    return det_ok && id_ok && error_ok && degrade_ok &&
+                   sweep_par_ok && fusion_no_ts_ok &&
+                   fusion_healthy_ok && fusion_blackout_ok
                ? 0
                : 1;
 }

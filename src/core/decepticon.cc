@@ -6,6 +6,7 @@
 #include "gpusim/trace_generator.hh"
 #include "obs/obs.hh"
 #include "sched/sched.hh"
+#include "sidechan/features.hh"
 #include "trace/repair.hh"
 #include "util/rng.hh"
 
@@ -84,7 +85,85 @@ Decepticon::trainExtractor(const zoo::ModelZoo &candidate_pool)
             all_traces.begin() + static_cast<long>(end));
         seqPredictors_[c].train(traces);
     }
-    return cnn_->evaluate(test);
+
+    const double cnn_accuracy = cnn_->evaluate(test);
+
+    // Side channels: each profiled trace also yields a power trace, a
+    // thermal envelope and a profiler counter vector — the attacker
+    // records them during the same profiling runs, so no extra trace
+    // generation is needed. One lightweight classifier per channel;
+    // its held-out accuracy becomes the channel's reliability prior
+    // in the fusion engine.
+    fusion_.reset();
+    for (auto &clf : channelClassifiers_)
+        clf.reset();
+    if (opts_.trainChannelClassifiers) {
+        auto ch_span = obs::span("level1.train_channels", "level1");
+
+        std::vector<int> job_labels(jobs.size(), 0);
+        for (std::size_t c = 0; c < class_ranges.size(); ++c) {
+            for (std::size_t i = class_ranges[c].first;
+                 i < class_ranges[c].second; ++i)
+                job_labels[i] = static_cast<int>(c);
+        }
+
+        constexpr fault::Channel kSeriesChannels[] = {
+            fault::Channel::Power,
+            fault::Channel::Thermal,
+            fault::Channel::Profiler,
+        };
+        // Emission and feature extraction are pure per trace (the
+        // emitters split their noise streams from the run seed), so
+        // the jobs fill independent slots in parallel.
+        std::array<std::vector<std::vector<float>>, 3> feats;
+        for (auto &f : feats)
+            f.resize(jobs.size());
+        sched::parallelFor(jobs.size(), 1, [&](std::size_t i) {
+            const gpusim::KernelTrace &t = all_traces[i];
+            feats[0][i] = sidechan::channelFeatures(
+                fault::Channel::Power,
+                gpusim::emitPowerTrace(t, opts_.emissionOptions,
+                                       jobs[i].runSeed));
+            feats[1][i] = sidechan::channelFeatures(
+                fault::Channel::Thermal,
+                gpusim::emitThermalTrace(t, opts_.emissionOptions,
+                                         jobs[i].runSeed));
+            feats[2][i] = sidechan::channelFeatures(
+                fault::Channel::Profiler,
+                gpusim::emitProfilerCounters(t, opts_.emissionOptions,
+                                             jobs[i].runSeed));
+        });
+
+        fusion_ =
+            std::make_unique<sidechan::FusionEngine>(classNames_.size());
+        fusion_->setReliabilityPrior(fault::Channel::Timestamp,
+                                     cnn_accuracy);
+        for (std::size_t s = 0; s < 3; ++s) {
+            const fault::Channel channel = kSeriesChannels[s];
+            // Every model contributed two consecutive profiling runs:
+            // the first trains the channel classifier, the second is
+            // held out and becomes the channel's reliability prior.
+            std::vector<std::vector<float>> train_f, held_f;
+            std::vector<int> train_y, held_y;
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                auto &dst_f = (i % 2 == 0) ? train_f : held_f;
+                auto &dst_y = (i % 2 == 0) ? train_y : held_y;
+                dst_f.push_back(feats[s][i]);
+                dst_y.push_back(job_labels[i]);
+            }
+            auto &clf =
+                channelClassifiers_[static_cast<std::size_t>(channel)];
+            clf = std::make_unique<sidechan::ChannelClassifier>(
+                channel, sidechan::featureDim(channel),
+                classNames_.size(),
+                opts_.seed ^ (0xabcdULL + 0x101ULL * s),
+                opts_.channelOptions.hidden);
+            clf->train(train_f, train_y, opts_.channelOptions);
+            fusion_->setReliabilityPrior(channel,
+                                         clf->evaluate(held_f, held_y));
+        }
+    }
+    return cnn_accuracy;
 }
 
 IdentificationResult
@@ -158,25 +237,108 @@ Decepticon::identifyResilient(
     const ResilientIdentifyOptions &ropts,
     const std::function<std::vector<bool>()> &query_victim)
 {
+    // Timestamp-only view of the multi-channel path: same decision
+    // graph, with the three side channels dark.
+    MultiChannelCapture capture;
+    capture.timestampCaptures = captures;
+    return identifyFused(capture, ropts, query_victim);
+}
+
+namespace {
+
+/**
+ * Soft sample-coverage quality for a series capture: approaches 1 for
+ * long captures, shrinks toward 0 as truncation/dropout starve the
+ * series. Profiler vectors are fixed-length and exempt.
+ */
+double
+seriesQuality(std::size_t samples)
+{
+    return static_cast<double>(samples) /
+           (static_cast<double>(samples) + 16.0);
+}
+
+} // namespace
+
+IdentificationResult
+Decepticon::identifyFused(
+    const MultiChannelCapture &capture,
+    const ResilientIdentifyOptions &ropts,
+    const std::function<std::vector<bool>()> &query_victim)
+{
     assert(cnn_ && "trainExtractor must run first");
-    assert(!captures.empty());
 
-    auto sp = obs::span("level1.identify_resilient", "level1");
-    sp.arg("captures", static_cast<std::uint64_t>(captures.size()));
+    auto sp = obs::span("level1.identify_fused", "level1");
 
-    trace::RepairReport report;
-    const gpusim::KernelTrace repaired =
-        trace::repairTraces(captures, &report);
+    IdentificationResult result;
+    result.capturesUsed = capture.timestampCaptures.size() +
+                          capture.powerCaptures.size() +
+                          capture.thermalCaptures.size() +
+                          capture.profilerCaptures.size();
+    result.quorumAgreement = 0.0;
+    result.channelsAvailable = 0;
+    sp.arg("captures", static_cast<std::uint64_t>(result.capturesUsed));
 
-    // The consensus trace goes through the full single-trace path
-    // (top-k, ambiguity handling, query probing).
-    IdentificationResult result = identify(repaired, query_victim);
-    result.capturesUsed = captures.size();
+    // ---- channel availability ------------------------------------
+    // A channel is usable when at least one capture carries enough
+    // signal to vote — and, for the side channels, when a trained
+    // classifier exists for it.
+    std::vector<const gpusim::KernelTrace *> ts_caps;
+    for (const auto &t : capture.timestampCaptures) {
+        if (!t.records.empty())
+            ts_caps.push_back(&t);
+    }
+    const bool ts_usable = !ts_caps.empty();
 
-    auto image_of = [&](const gpusim::KernelTrace &t) {
-        return fingerprint::fingerprintImage(
-            t, cnn_->resolution(), opts_.datasetOptions.cropIrregular);
-    };
+    auto usable_series =
+        [&](fault::Channel channel,
+            const std::vector<std::vector<double>> &caps,
+            std::size_t min_samples) {
+            if (!fusion_ ||
+                !channelClassifiers_[static_cast<std::size_t>(channel)])
+                return false;
+            for (const auto &s : caps) {
+                if (s.size() >= min_samples)
+                    return true;
+            }
+            return false;
+        };
+    const bool power_usable =
+        usable_series(fault::Channel::Power, capture.powerCaptures,
+                      ropts.minSeriesSamples);
+    const bool thermal_usable =
+        usable_series(fault::Channel::Thermal, capture.thermalCaptures,
+                      ropts.minSeriesSamples);
+    const bool profiler_usable = usable_series(
+        fault::Channel::Profiler, capture.profilerCaptures, 1);
+
+    const bool usable[fault::kNumChannels] = {ts_usable, power_usable,
+                                              thermal_usable,
+                                              profiler_usable};
+    for (std::size_t c = 0; c < fault::kNumChannels; ++c) {
+        const char *name =
+            fault::channelName(static_cast<fault::Channel>(c));
+        obs::count((std::string("level1.channel.") + name +
+                    (usable[c] ? ".available" : ".dark"))
+                       .c_str());
+        if (usable[c]) {
+            ++result.channelsAvailable;
+            result.channelsUsed.emplace_back(name);
+        }
+    }
+    obs::gaugeSet("level1.channels_available",
+                  static_cast<double>(result.channelsAvailable));
+    sp.arg("channels",
+           static_cast<std::uint64_t>(result.channelsAvailable));
+
+    if (result.channelsAvailable == 0) {
+        // Total blackout: say so instead of guessing.
+        result.insufficientEvidence = true;
+        obs::count("level1.insufficient_evidence");
+        sp.arg("verdict", "insufficient");
+        return result;
+    }
+
     auto plurality = [&](const std::vector<std::size_t> &votes,
                          double &share) {
         const auto it = std::max_element(votes.begin(), votes.end());
@@ -187,75 +349,264 @@ Decepticon::identifyResilient(
         return static_cast<std::size_t>(it - votes.begin());
     };
 
-    // CNN quorum: the consensus trace and every raw capture each cast
-    // one vote, so a single badly-mangled capture cannot swing the
-    // answer the way it could swing a single classification. Both the
-    // rasterization and the per-image classifications are pure per
-    // voter, so the voters run in parallel; the vote tally is a
-    // commutative sum and therefore scheduling-independent.
-    std::vector<const gpusim::KernelTrace *> voters;
-    voters.push_back(&repaired);
-    for (const auto &cap : captures)
-        voters.push_back(&cap);
-    std::vector<tensor::Tensor> voter_images(voters.size());
-    sched::parallelFor(voters.size(), 1, [&](std::size_t i) {
-        voter_images[i] = image_of(*voters[i]);
-    });
-    std::vector<const tensor::Tensor *> voter_image_ptrs;
-    voter_image_ptrs.reserve(voter_images.size());
-    for (const auto &img : voter_images)
-        voter_image_ptrs.push_back(&img);
-
-    std::vector<std::size_t> cnn_votes(classNames_.size(), 0);
-    for (int p : fingerprint::predictBatch(*cnn_, voter_image_ptrs))
-        ++cnn_votes[static_cast<std::size_t>(p)];
+    // ---- stage 1: the timestamp channel (legacy CNN quorum) -------
+    gpusim::KernelTrace repaired;
+    std::vector<tensor::Tensor> voter_images;
+    std::vector<double> ts_probs;
     double cnn_share = 0.0;
-    const std::size_t cnn_winner = plurality(cnn_votes, cnn_share);
-    result.quorumAgreement = cnn_share;
+    if (ts_usable) {
+        std::vector<gpusim::KernelTrace> clean;
+        clean.reserve(ts_caps.size());
+        for (const auto *t : ts_caps)
+            clean.push_back(*t);
+        trace::RepairReport report;
+        repaired = trace::repairTraces(clean, &report);
 
-    if (result.topProbability >= ropts.cnnConfidenceThreshold &&
-        cnn_share >= ropts.quorumThreshold) {
-        // Confident CNN: adopt the quorum winner unless query probes
-        // already disambiguated (stronger, input-dependent evidence).
-        if (!result.usedQueryProbes)
-            result.pretrainedName = classNames_[cnn_winner];
-        obs::gaugeSet("level1.quorum_agreement", result.quorumAgreement);
-        return result;
-    }
+        // The consensus trace goes through the full single-trace path
+        // (top-k, ambiguity handling, query probing).
+        const IdentificationResult base = identify(repaired, query_victim);
+        result.pretrainedName = base.pretrainedName;
+        result.topProbability = base.topProbability;
+        result.candidates = base.candidates;
+        result.usedQueryProbes = base.usedQueryProbes;
 
-    // Tier 2: kNN template quorum over the same images.
-    result.usedKnnFallback = true;
-    obs::count("level1.knn_fallbacks");
-    std::vector<std::size_t> knn_votes(classNames_.size(), 0);
-    std::vector<int> knn_preds(voter_images.size());
-    sched::parallelFor(voter_images.size(), 1, [&](std::size_t i) {
-        knn_preds[i] = knn_.predict(voter_images[i]);
-    });
-    for (int p : knn_preds)
-        ++knn_votes[static_cast<std::size_t>(p)];
-    double knn_share = 0.0;
-    const std::size_t knn_winner = plurality(knn_votes, knn_share);
-    if (knn_share >= ropts.quorumThreshold) {
-        result.pretrainedName = classNames_[knn_winner];
-        result.quorumAgreement = knn_share;
-        obs::gaugeSet("level1.quorum_agreement", result.quorumAgreement);
-        return result;
-    }
+        // CNN quorum: the consensus trace and every raw capture each
+        // cast one vote, so a single badly-mangled capture cannot
+        // swing the answer the way it could swing a single
+        // classification. Both the rasterization and the per-image
+        // classifications are pure per voter, so the voters run in
+        // parallel; the vote tally is a commutative sum and therefore
+        // scheduling-independent.
+        std::vector<const gpusim::KernelTrace *> voters;
+        voters.push_back(&repaired);
+        for (const auto &cap : clean)
+            voters.push_back(&cap);
+        voter_images.resize(voters.size());
+        sched::parallelFor(voters.size(), 1, [&](std::size_t i) {
+            voter_images[i] = fingerprint::fingerprintImage(
+                *voters[i], cnn_->resolution(),
+                opts_.datasetOptions.cropIrregular);
+        });
+        std::vector<const tensor::Tensor *> voter_image_ptrs;
+        voter_image_ptrs.reserve(voter_images.size());
+        for (const auto &img : voter_images)
+            voter_image_ptrs.push_back(&img);
 
-    // Tier 3: attribute the consensus trace to the lineage whose
-    // sequence predictor decodes it with the lowest layer error rate.
-    result.usedSeqFallback = true;
-    obs::count("level1.seq_fallbacks");
-    std::size_t best = 0;
-    double best_ler = seqPredictors_[0].layerErrorRate(repaired);
-    for (std::size_t c = 1; c < seqPredictors_.size(); ++c) {
-        const double ler = seqPredictors_[c].layerErrorRate(repaired);
-        if (ler < best_ler) {
-            best_ler = ler;
-            best = c;
+        std::vector<std::size_t> cnn_votes(classNames_.size(), 0);
+        for (int p : fingerprint::predictBatch(*cnn_, voter_image_ptrs))
+            ++cnn_votes[static_cast<std::size_t>(p)];
+        const std::size_t cnn_winner = plurality(cnn_votes, cnn_share);
+        result.quorumAgreement = cnn_share;
+        ts_probs = cnn_->classProbabilities(voter_images[0]);
+
+        if (result.topProbability >= ropts.cnnConfidenceThreshold &&
+            cnn_share >= ropts.quorumThreshold) {
+            // Confident CNN: adopt the quorum winner unless query
+            // probes already disambiguated (stronger, input-dependent
+            // evidence).
+            if (!result.usedQueryProbes)
+                result.pretrainedName = classNames_[cnn_winner];
+            obs::gaugeSet("level1.quorum_agreement",
+                          result.quorumAgreement);
+            sp.arg("verdict", "timestamp");
+            return result;
         }
     }
-    result.pretrainedName = classNames_[best];
+
+    // ---- stage 2: confidence-weighted channel fusion --------------
+    struct SeriesSet
+    {
+        fault::Channel channel;
+        const std::vector<std::vector<double>> *caps;
+        bool usable;
+        std::size_t minSamples;
+    };
+    const SeriesSet series_sets[3] = {
+        {fault::Channel::Power, &capture.powerCaptures, power_usable,
+         ropts.minSeriesSamples},
+        {fault::Channel::Thermal, &capture.thermalCaptures,
+         thermal_usable, ropts.minSeriesSamples},
+        {fault::Channel::Profiler, &capture.profilerCaptures,
+         profiler_usable, 1},
+    };
+    const std::size_t side_channels =
+        (power_usable ? 1u : 0u) + (thermal_usable ? 1u : 0u) +
+        (profiler_usable ? 1u : 0u);
+
+    sidechan::FusionDecision decision;
+    bool fusion_ran = false;
+
+    auto adopt_fused = [&]() {
+        const auto label = static_cast<std::size_t>(decision.label);
+        result.pretrainedName = classNames_[label];
+        if (!ts_usable) {
+            // No CNN posterior: the fused posterior is the evidence
+            // trail, so the candidate list and top probability come
+            // from it.
+            result.topProbability = decision.fusedProbs[label];
+            std::vector<std::size_t> order(classNames_.size());
+            for (std::size_t k = 0; k < order.size(); ++k)
+                order[k] = k;
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          if (decision.fusedProbs[a] !=
+                              decision.fusedProbs[b])
+                              return decision.fusedProbs[a] >
+                                     decision.fusedProbs[b];
+                          return a < b;
+                      });
+            result.candidates.clear();
+            const std::size_t k_out =
+                std::min(opts_.topK, order.size());
+            for (std::size_t k = 0; k < k_out; ++k)
+                result.candidates.push_back(classNames_[order[k]]);
+        }
+    };
+
+    if (side_channels > 0) {
+        // Feature extraction is pure per capture; the captures fill
+        // independent slots in parallel. Classifier inference then
+        // runs serially in channel order (the classifiers hold shared
+        // forward caches).
+        struct FeatJob
+        {
+            std::size_t set;
+            const std::vector<double> *series;
+        };
+        std::vector<FeatJob> fjobs;
+        for (std::size_t s = 0; s < 3; ++s) {
+            if (!series_sets[s].usable)
+                continue;
+            for (const auto &ser : *series_sets[s].caps) {
+                if (ser.size() >= series_sets[s].minSamples)
+                    fjobs.push_back({s, &ser});
+            }
+        }
+        std::vector<std::vector<float>> feats(fjobs.size());
+        sched::parallelFor(fjobs.size(), 1, [&](std::size_t i) {
+            feats[i] = sidechan::channelFeatures(
+                series_sets[fjobs[i].set].channel, *fjobs[i].series);
+        });
+
+        std::vector<sidechan::ChannelEvidence> evidence;
+        if (ts_usable) {
+            sidechan::ChannelEvidence ev;
+            ev.channel = fault::Channel::Timestamp;
+            ev.available = true;
+            ev.probs = ts_probs;
+            ev.quality = cnn_share;
+            evidence.push_back(std::move(ev));
+        }
+        for (std::size_t s = 0; s < 3; ++s) {
+            if (!series_sets[s].usable)
+                continue;
+            sidechan::ChannelEvidence ev;
+            ev.channel = series_sets[s].channel;
+            ev.available = true;
+            ev.probs.assign(classNames_.size(), 0.0);
+            double quality_sum = 0.0;
+            std::size_t n = 0;
+            auto &clf = channelClassifiers_[static_cast<std::size_t>(
+                series_sets[s].channel)];
+            for (std::size_t i = 0; i < fjobs.size(); ++i) {
+                if (fjobs[i].set != s)
+                    continue;
+                const std::vector<double> probs =
+                    clf->classProbabilities(feats[i]);
+                for (std::size_t k = 0; k < probs.size(); ++k)
+                    ev.probs[k] += probs[k];
+                quality_sum +=
+                    series_sets[s].channel == fault::Channel::Profiler
+                        ? 1.0
+                        : seriesQuality(fjobs[i].series->size());
+                ++n;
+            }
+            for (auto &p : ev.probs)
+                p /= static_cast<double>(n);
+            ev.quality = quality_sum / static_cast<double>(n);
+            evidence.push_back(std::move(ev));
+        }
+
+        decision = fusion_->fuse(evidence);
+        fusion_ran = true;
+        result.usedChannelFusion = true;
+        result.fusedConfidence = decision.confidence;
+        obs::gaugeSet("level1.fused_confidence", decision.confidence);
+
+        if (decision.verdict == sidechan::FusionVerdict::Identified &&
+            decision.confidence >= ropts.fusionMinConfidence) {
+            adopt_fused();
+            obs::count("level1.fusion_adoptions");
+            sp.arg("verdict", "fused");
+            sp.arg("confidence", decision.confidence);
+            return result;
+        }
+    }
+
+    // ---- stage 3: timestamp-only fallback chain -------------------
+    if (ts_usable) {
+        // Tier 2: kNN template quorum over the same images.
+        result.usedKnnFallback = true;
+        obs::count("level1.knn_fallbacks");
+        std::vector<std::size_t> knn_votes(classNames_.size(), 0);
+        std::vector<int> knn_preds(voter_images.size());
+        sched::parallelFor(voter_images.size(), 1, [&](std::size_t i) {
+            knn_preds[i] = knn_.predict(voter_images[i]);
+        });
+        for (int p : knn_preds)
+            ++knn_votes[static_cast<std::size_t>(p)];
+        double knn_share = 0.0;
+        const std::size_t knn_winner = plurality(knn_votes, knn_share);
+        if (knn_share >= ropts.quorumThreshold) {
+            result.pretrainedName = classNames_[knn_winner];
+            result.quorumAgreement = knn_share;
+            obs::gaugeSet("level1.quorum_agreement",
+                          result.quorumAgreement);
+            sp.arg("verdict", "knn");
+            return result;
+        }
+
+        // Tier 3: attribute the consensus trace to the lineage whose
+        // sequence predictor decodes it with the lowest layer error
+        // rate — but abstain when even the best decode is noise-level
+        // (a garbage trace always has *some* argmin).
+        result.usedSeqFallback = true;
+        obs::count("level1.seq_fallbacks");
+        std::size_t best = 0;
+        double best_ler = seqPredictors_[0].layerErrorRate(repaired);
+        for (std::size_t c = 1; c < seqPredictors_.size(); ++c) {
+            const double ler = seqPredictors_[c].layerErrorRate(repaired);
+            if (ler < best_ler) {
+                best_ler = ler;
+                best = c;
+            }
+        }
+        if (best_ler < ropts.seqLerRejectThreshold) {
+            result.pretrainedName = classNames_[best];
+            sp.arg("verdict", "seq");
+            return result;
+        }
+        obs::count("level1.seq_rejections");
+    }
+
+    // ---- stage 4: best-effort fusion, then honest failure ---------
+    if (fusion_ran &&
+        decision.verdict == sidechan::FusionVerdict::Identified) {
+        // Below the confidence bar and with the timestamp chain
+        // exhausted, the fused label is still the best available
+        // evidence — adopt it at its honest low confidence.
+        adopt_fused();
+        obs::count("level1.fusion_best_effort");
+        sp.arg("verdict", "fused_best_effort");
+        sp.arg("confidence", decision.confidence);
+        return result;
+    }
+
+    result.insufficientEvidence = true;
+    result.pretrainedName.clear();
+    result.topProbability = 0.0;
+    obs::count("level1.insufficient_evidence");
+    sp.arg("verdict", "insufficient");
     return result;
 }
 

@@ -13,16 +13,21 @@
 #ifndef DECEPTICON_CORE_DECEPTICON_HH
 #define DECEPTICON_CORE_DECEPTICON_HH
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "fault/channel.hh"
 #include "fingerprint/cnn.hh"
 #include "fingerprint/dataset.hh"
 #include "fingerprint/knn.hh"
 #include "fingerprint/seq_predictor.hh"
+#include "gpusim/emission.hh"
 #include "gpusim/kernel.hh"
+#include "sidechan/classifier.hh"
+#include "sidechan/fusion.hh"
 #include "zoo/vocab.hh"
 #include "zoo/zoo.hh"
 
@@ -41,6 +46,17 @@ struct DecepticonOptions
      */
     double ambiguityRatio = 0.5;
     std::uint64_t seed = 1;
+    /** Synthesis knobs for the side-channel emitters the attacker
+     *  profiles alongside the kernel stream. */
+    gpusim::EmissionOptions emissionOptions;
+    /** Training knobs for the per-channel lineage classifiers. */
+    sidechan::ChannelClassifierOptions channelOptions;
+    /**
+     * Train the power/thermal/profiler classifiers and fusion priors
+     * during trainExtractor. Off leaves identifyFused with the
+     * timestamp channel only (legacy behaviour, lower training cost).
+     */
+    bool trainChannelClassifiers = true;
 };
 
 /**
@@ -55,6 +71,37 @@ struct ResilientIdentifyOptions
     double cnnConfidenceThreshold = 0.45;
     /** Minimum fraction of quorum votes behind the winning lineage. */
     double quorumThreshold = 0.5;
+    /** Minimum calibrated fusion confidence to adopt the fused label
+     *  ahead of the timestamp-only fallback chain. */
+    double fusionMinConfidence = 0.35;
+    /**
+     * Sequence-predictor fallback rejection: when even the best
+     * lineage predictor decodes the consensus trace with a layer
+     * error rate at or above this, the trace carries no usable
+     * sequence structure and the fallback abstains instead of
+     * emitting its argmin as a silent guess.
+     */
+    double seqLerRejectThreshold = 0.9;
+    /** Series captures shorter than this carry too little signal to
+     *  vote (power/thermal samples; profiler vectors are exempt). */
+    std::size_t minSeriesSamples = 8;
+};
+
+/**
+ * One victim observation across every side channel the attacker
+ * managed to tap. Any subset of the four channels may be empty —
+ * identifyFused degrades to whatever is present.
+ */
+struct MultiChannelCapture
+{
+    /** Kernel-timestamp captures (the classic Decepticon channel). */
+    std::vector<gpusim::KernelTrace> timestampCaptures;
+    /** Power-rail sample series, one per capture attempt. */
+    std::vector<std::vector<double>> powerCaptures;
+    /** Die-temperature sample series, one per capture attempt. */
+    std::vector<std::vector<double>> thermalCaptures;
+    /** Aggregate profiler counter vectors, one per capture attempt. */
+    std::vector<std::vector<double>> profilerCaptures;
 };
 
 /** Level-1 output. */
@@ -71,6 +118,20 @@ struct IdentificationResult
     double quorumAgreement = 1.0;
     bool usedKnnFallback = false; ///< CNN confidence/quorum failed
     bool usedSeqFallback = false; ///< kNN quorum failed too
+    // --- identifyFused() accounting ---
+    /** The label came from (or was checked against) channel fusion. */
+    bool usedChannelFusion = false;
+    /**
+     * Every channel was dark or every stage abstained: pretrainedName
+     * is empty and no guess was made. Never set alongside a name.
+     */
+    bool insufficientEvidence = false;
+    /** Calibrated fusion confidence (0 when fusion never ran). */
+    double fusedConfidence = 0.0;
+    /** Channels that delivered usable evidence this identification. */
+    std::size_t channelsAvailable = 1;
+    /** Names of those channels ("timestamp", "power", ...). */
+    std::vector<std::string> channelsUsed;
 };
 
 /**
@@ -116,8 +177,37 @@ class Decepticon
         const ResilientIdentifyOptions &ropts = {},
         const std::function<std::vector<bool>()> &query_victim = {});
 
+    /**
+     * Identify from whatever channel subset survived the victim's
+     * defenses. The decision graph is availability-aware:
+     *
+     *  1. zero usable channels -> explicit insufficient-evidence
+     *     verdict (never a silent guess);
+     *  2. healthy timestamp channel (confident CNN + quorum) -> the
+     *     legacy path, bit-identical to identifyResilient;
+     *  3. otherwise fuse every usable channel's posterior through the
+     *     confidence-weighted fusion engine and adopt the fused label
+     *     when its calibrated confidence clears the bar;
+     *  4. otherwise the timestamp fallback chain (kNN quorum, then
+     *     sequence predictors with an LER abstention threshold);
+     *  5. otherwise adopt the best-effort fused label at its honest
+     *     low confidence — or report insufficient evidence when even
+     *     fusion had nothing.
+     */
+    IdentificationResult identifyFused(
+        const MultiChannelCapture &capture,
+        const ResilientIdentifyOptions &ropts = {},
+        const std::function<std::vector<bool>()> &query_victim = {});
+
     /** The trained CNN (valid after trainExtractor). */
     fingerprint::FingerprintCnn &cnn() { return *cnn_; }
+
+    /** The fusion engine, or nullptr when channel classifiers were
+     *  not trained. Exposes the learned reliability priors. */
+    const sidechan::FusionEngine *fusionEngine() const
+    {
+        return fusion_.get();
+    }
 
     /** Lineage names in label order. */
     const std::vector<std::string> &classNames() const
@@ -135,6 +225,14 @@ class Decepticon
     fingerprint::NearestNeighborClassifier knn_{3};
     /** Degradation tier 3: one sequence predictor per lineage. */
     std::vector<fingerprint::KernelSequencePredictor> seqPredictors_;
+    /** Per-channel lineage classifiers, indexed by fault::Channel
+     *  (Timestamp slot unused — the CNN owns that channel). */
+    std::array<std::unique_ptr<sidechan::ChannelClassifier>,
+               fault::kNumChannels>
+        channelClassifiers_;
+    /** Confidence-weighted late fusion (valid after trainExtractor
+     *  when trainChannelClassifiers is on). */
+    std::unique_ptr<sidechan::FusionEngine> fusion_;
 };
 
 /**

@@ -16,6 +16,11 @@ AttackRunReport::recordIdentification(const IdentificationResult &ident)
     usedSeqFallback = ident.usedSeqFallback;
     capturesUsed = ident.capturesUsed;
     quorumAgreement = ident.quorumAgreement;
+    usedChannelFusion = ident.usedChannelFusion;
+    insufficientEvidence = ident.insufficientEvidence;
+    fusedConfidence = ident.fusedConfidence;
+    channelsAvailable = ident.channelsAvailable;
+    channelsUsed = ident.channelsUsed;
 }
 
 void
@@ -67,7 +72,19 @@ AttackRunReport::toJson() const
         << (usedSeqFallback ? "true" : "false")
         << ",\"captures_used\":" << capturesUsed
         << ",\"quorum_agreement\":" << obs::jsonNumber(quorumAgreement)
-        << "},\"level2\":{"
+        << ",\"used_channel_fusion\":"
+        << (usedChannelFusion ? "true" : "false")
+        << ",\"insufficient_evidence\":"
+        << (insufficientEvidence ? "true" : "false")
+        << ",\"fused_confidence\":" << obs::jsonNumber(fusedConfidence)
+        << ",\"channels_available\":" << channelsAvailable
+        << ",\"channels_used\":[";
+    for (std::size_t i = 0; i < channelsUsed.size(); ++i) {
+        if (i > 0)
+            oss << ",";
+        oss << obs::jsonQuote(channelsUsed[i]);
+    }
+    oss << "]},\"level2\":{"
         << "\"layers_extracted\":" << layersExtracted
         << ",\"bits_read\":" << bitsRead
         << ",\"hammer_rounds\":" << hammerRounds
@@ -109,6 +126,10 @@ AttackRunReport::toMetrics(obs::MetricsRegistry &registry) const
     gauge("used_query_probes", usedQueryProbes ? 1.0 : 0.0);
     gauge("used_knn_fallback", usedKnnFallback ? 1.0 : 0.0);
     gauge("used_seq_fallback", usedSeqFallback ? 1.0 : 0.0);
+    gauge("used_channel_fusion", usedChannelFusion ? 1.0 : 0.0);
+    gauge("insufficient_evidence", insufficientEvidence ? 1.0 : 0.0);
+    gauge("fused_confidence", fusedConfidence);
+    gauge("channels_available", static_cast<double>(channelsAvailable));
     gauge("layers_extracted", static_cast<double>(layersExtracted));
     gauge("bits_read", static_cast<double>(bitsRead));
     gauge("hammer_rounds", static_cast<double>(hammerRounds));
@@ -135,13 +156,29 @@ std::string
 AttackRunReport::summaryParagraph() const
 {
     std::ostringstream oss;
-    oss << "Attack run: identified parent \""
-        << (identifiedParent.empty() ? "<none>" : identifiedParent)
-        << "\" with confidence " << identifyConfidence;
-    if (capturesUsed > 1)
+    if (insufficientEvidence) {
+        oss << "Attack run: identification abstained — insufficient"
+               " evidence across "
+            << channelsAvailable << " usable channel(s) from "
+            << capturesUsed << " capture(s)";
+    } else {
+        oss << "Attack run: identified parent \""
+            << (identifiedParent.empty() ? "<none>" : identifiedParent)
+            << "\" with confidence " << identifyConfidence;
+    }
+    if (capturesUsed > 1 && !insufficientEvidence)
         oss << " from " << capturesUsed
             << " noisy captures (quorum agreement " << quorumAgreement
             << ")";
+    if (usedChannelFusion && !insufficientEvidence) {
+        oss << ", fusing ";
+        for (std::size_t i = 0; i < channelsUsed.size(); ++i) {
+            if (i > 0)
+                oss << "+";
+            oss << channelsUsed[i];
+        }
+        oss << " (fused confidence " << fusedConfidence << ")";
+    }
     if (usedQueryProbes)
         oss << ", disambiguated via query probes";
     if (usedSeqFallback)

@@ -42,6 +42,13 @@ struct AttackRunReport
     bool usedSeqFallback = false;
     std::size_t capturesUsed = 0;
     double quorumAgreement = 0.0;
+    bool usedChannelFusion = false;
+    /** Every identification stage abstained; no parent was named. */
+    bool insufficientEvidence = false;
+    double fusedConfidence = 0.0;
+    std::size_t channelsAvailable = 0;
+    /** Channels that delivered usable evidence ("timestamp", ...). */
+    std::vector<std::string> channelsUsed;
 
     // ---- level 2 ----
     std::size_t layersExtracted = 0;

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Per-channel fault models for the multi-modal side-channel layer.
+ * Where fault.hh models the two original channels (bit probes and
+ * kernel-record captures) with bespoke processes, this file gives
+ * every emission channel its own generic sample-series fault model:
+ * dropout, tail truncation, additive noise, quantization, clipping,
+ * and outright jamming — the countermeasures a victim can aim at any
+ * one channel independently.
+ *
+ * Determinism contract: each ChannelFaultModel owns an independent
+ * stream derived via util::Rng::split, keyed by the channel, and each
+ * capture corrupts under a further split on the capture seed. Jamming
+ * one channel, or reordering captures across channels, never perturbs
+ * another channel's fault stream — which is what lets the dropout
+ * matrix tests hold bit-for-bit as availability subsets change.
+ */
+
+#ifndef DECEPTICON_FAULT_CHANNEL_HH
+#define DECEPTICON_FAULT_CHANNEL_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace decepticon::fault {
+
+/** The four level-1 evidence channels. */
+enum class Channel
+{
+    Timestamp = 0, ///< kernel execution trace (the original channel)
+    Power = 1,     ///< sampled board draw (Energon)
+    Thermal = 2,   ///< die temperature envelope
+    Profiler = 3,  ///< aggregate counters (InferNet)
+};
+
+inline constexpr std::size_t kNumChannels = 4;
+
+/** Lower-case channel name for metric/report labels. */
+const char *channelName(Channel channel);
+
+/** Fault process of one channel. All rates are in [0, 1]. */
+struct ChannelFaultSpec
+{
+    /** Probability each sample is lost. Fixed-length channels
+     *  (profiler counters) zero the slot; series channels drop it. */
+    double dropoutRate = 0.0;
+    /** Probability a capture loses its tail (sensor stopped early). */
+    double truncateProbability = 0.0;
+    /** Maximum fraction of samples a tail truncation removes. */
+    double truncateMaxFraction = 0.3;
+    /** Additive Gaussian noise sigma, relative to the series' mean
+     *  absolute value (0 = off). */
+    double noiseSigma = 0.0;
+    /** Quantization step, relative to the series' mean absolute
+     *  value (0 = off). */
+    double quantStep = 0.0;
+    /** Clip ceiling as a fraction of the observed range above the
+     *  minimum (1 = off): saturating sensors lose the peaks first. */
+    double clipFraction = 1.0;
+    /** Channel fully suppressed: every capture arrives empty. */
+    bool jammed = false;
+};
+
+/** Ground-truth bookkeeping of injected channel faults. */
+struct ChannelFaultCounters
+{
+    std::size_t captures = 0;
+    std::size_t jammedCaptures = 0;
+    std::size_t samplesDropped = 0;
+    std::size_t samplesTruncated = 0;
+    std::size_t samplesNoised = 0;
+    std::size_t samplesQuantized = 0;
+    std::size_t samplesClipped = 0;
+};
+
+/**
+ * Applies one ChannelFaultSpec to sample series. Pure function of
+ * (channel, spec, base stream, capture seed, input); corrupting the
+ * same capture twice replays identically.
+ */
+class ChannelFaultModel
+{
+  public:
+    /** Standalone construction: stream = Rng(seed).split(channel). */
+    ChannelFaultModel(Channel channel, const ChannelFaultSpec &spec,
+                      std::uint64_t seed);
+
+    /** Construction from a pre-split base stream (multi-channel). */
+    ChannelFaultModel(Channel channel, const ChannelFaultSpec &spec,
+                      const util::Rng &base);
+
+    Channel channel() const { return channel_; }
+    const ChannelFaultSpec &spec() const { return spec_; }
+
+    /** Whether this channel delivers anything at all. */
+    bool jammed() const { return spec_.jammed; }
+
+    /**
+     * One noisy capture of a sample series. Returns empty when the
+     * channel is jammed. Fault order: truncation, dropout, noise,
+     * quantization, clipping — the physical order (what the sensor
+     * never saw cannot be noised).
+     */
+    std::vector<double> corruptSeries(const std::vector<double> &series,
+                                      std::uint64_t capture_seed);
+
+    const ChannelFaultCounters &counters() const { return counters_; }
+
+    /** Publish "fault.channel.<name>.*" gauges to the global
+     *  registry (no-op when metrics are off). */
+    void publishCounters() const;
+
+    /**
+     * Zero the ledger and re-publish the zeroed gauges, so a reset is
+     * visible downstream instead of freezing the last session's
+     * totals (the bitprobe resetStats pattern).
+     */
+    void resetCounters();
+
+  private:
+    Channel channel_;
+    ChannelFaultSpec spec_;
+    /** Per-channel stream; capture streams split off this. */
+    util::Rng base_;
+    ChannelFaultCounters counters_;
+};
+
+/** One fault spec per channel under a single root seed. */
+struct MultiChannelFaultSpec
+{
+    std::array<ChannelFaultSpec, kNumChannels> channels{};
+    std::uint64_t seed = 0;
+
+    ChannelFaultSpec &at(Channel c)
+    {
+        return channels[static_cast<std::size_t>(c)];
+    }
+    const ChannelFaultSpec &at(Channel c) const
+    {
+        return channels[static_cast<std::size_t>(c)];
+    }
+};
+
+/**
+ * The full per-victim fault surface: one ChannelFaultModel per
+ * channel, each with an independent stream split off the root seed.
+ */
+class MultiChannelFaultModel
+{
+  public:
+    explicit MultiChannelFaultModel(const MultiChannelFaultSpec &spec);
+
+    ChannelFaultModel &model(Channel c)
+    {
+        return models_[static_cast<std::size_t>(c)];
+    }
+    const ChannelFaultModel &model(Channel c) const
+    {
+        return models_[static_cast<std::size_t>(c)];
+    }
+
+    /** Corrupt one capture on the given channel. */
+    std::vector<double> corrupt(Channel c,
+                                const std::vector<double> &series,
+                                std::uint64_t capture_seed)
+    {
+        return model(c).corruptSeries(series, capture_seed);
+    }
+
+    /** Reset (and re-publish) every channel's counters. */
+    void resetCounters();
+
+  private:
+    std::vector<ChannelFaultModel> models_;
+};
+
+} // namespace decepticon::fault
+
+#endif // DECEPTICON_FAULT_CHANNEL_HH

@@ -1,0 +1,251 @@
+#include "gpusim/emission.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "obs/obs.hh"
+#include "util/rng.hh"
+
+namespace decepticon::gpusim {
+
+namespace {
+
+// Stream tags separating the three emitters' randomness: emitting a
+// power trace must never perturb the thermal or profiler streams of
+// the same run seed.
+constexpr std::uint64_t kPowerStreamTag = 0x70776572ULL;   // "pwer"
+constexpr std::uint64_t kThermalStreamTag = 0x7468726dULL; // "thrm"
+constexpr std::uint64_t kCounterStreamTag = 0x636e7472ULL; // "cntr"
+
+/**
+ * Stable per-kernel-implementation draw modulation in [0.85, 1.15].
+ * Keyed by kernel id only, so it is a property of the victim's
+ * software release (like the timing personality), not of the run.
+ */
+double
+kernelPowerPersonality(int kernel_id)
+{
+    util::SplitMix64 sm(0x9a7e5eedULL +
+                        static_cast<std::uint64_t>(kernel_id));
+    const double u = static_cast<double>(sm.next() >> 11) *
+                     (1.0 / 9007199254740992.0);
+    return 0.85 + 0.3 * u;
+}
+
+/** Effective sample period after capping the series length. */
+double
+effectivePeriod(const KernelTrace &trace, const EmissionOptions &opts)
+{
+    const double total = trace.totalTime();
+    double period = std::max(opts.samplePeriodUs, 1e-3);
+    if (total > period * static_cast<double>(opts.maxSamples))
+        period = total / static_cast<double>(opts.maxSamples);
+    return period;
+}
+
+/**
+ * Noiseless board draw at time t. Records are time-ordered by start;
+ * `cursor` persists across increasing sample times so the scan stays
+ * linear in records + samples.
+ */
+double
+rawPowerAt(const KernelTrace &trace, double t, std::size_t &cursor)
+{
+    const auto &recs = trace.records;
+    while (cursor < recs.size() && recs[cursor].tEnd <= t)
+        ++cursor;
+    double draw = 0.0;
+    for (std::size_t j = cursor; j < recs.size(); ++j) {
+        if (recs[j].tStart > t)
+            break;
+        if (recs[j].tEnd > t)
+            draw += kernelClassPowerWatts(recs[j].klass) *
+                    kernelPowerPersonality(recs[j].kernelId);
+    }
+    return draw;
+}
+
+} // anonymous namespace
+
+double
+kernelClassPowerWatts(KernelClass klass)
+{
+    switch (klass) {
+    case KernelClass::Gemm:
+        return 220.0;
+    case KernelClass::AttnGemm:
+        return 180.0;
+    case KernelClass::Softmax:
+        return 90.0;
+    case KernelClass::LayerNorm:
+        return 70.0;
+    case KernelClass::Elementwise:
+        return 60.0;
+    case KernelClass::Reduction:
+        return 55.0;
+    case KernelClass::Memory:
+        return 40.0;
+    case KernelClass::Fusion:
+        return 160.0;
+    }
+    return 50.0;
+}
+
+std::vector<double>
+emitPowerTrace(const KernelTrace &trace, const EmissionOptions &opts,
+               std::uint64_t run_seed)
+{
+    auto sp = obs::span("gpusim.emit_power", "gpusim");
+    std::vector<double> out;
+    if (trace.records.empty())
+        return out;
+    const double period = effectivePeriod(trace, opts);
+    const std::size_t n = std::min(
+        opts.maxSamples,
+        static_cast<std::size_t>(trace.totalTime() / period) + 1);
+    out.reserve(n);
+    const util::Rng noise_root(run_seed ^ kPowerStreamTag);
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) * period;
+        double watts =
+            opts.idlePowerWatts + rawPowerAt(trace, t, cursor);
+        if (opts.sensorNoiseWatts > 0.0) {
+            util::Rng r = noise_root.split(i);
+            watts += r.gaussian(0.0, opts.sensorNoiseWatts);
+        }
+        out.push_back(std::max(0.0, watts));
+    }
+    obs::count("gpusim.power_samples", out.size());
+    return out;
+}
+
+std::vector<double>
+emitThermalTrace(const KernelTrace &trace, const EmissionOptions &opts,
+                 std::uint64_t run_seed)
+{
+    auto sp = obs::span("gpusim.emit_thermal", "gpusim");
+    std::vector<double> out;
+    if (trace.records.empty())
+        return out;
+    const double period = effectivePeriod(trace, opts);
+    const std::size_t n = std::min(
+        opts.maxSamples,
+        static_cast<std::size_t>(trace.totalTime() / period) + 1);
+    out.reserve(n);
+    // First-order step response: alpha is the per-sample pole of the
+    // RC system at this period.
+    const double alpha =
+        1.0 - std::exp(-period / std::max(opts.thermalTauUs, 1e-6));
+    const util::Rng noise_root(run_seed ^ kThermalStreamTag);
+    double die = opts.thermalAmbientC;
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) * period;
+        const double watts =
+            opts.idlePowerWatts + rawPowerAt(trace, t, cursor);
+        const double target =
+            opts.thermalAmbientC + opts.thermalRiseCPerWatt * watts;
+        die += alpha * (target - die);
+        double sample = die;
+        if (opts.thermalSensorNoiseC > 0.0) {
+            util::Rng r = noise_root.split(i);
+            sample += r.gaussian(0.0, opts.thermalSensorNoiseC);
+        }
+        out.push_back(sample);
+    }
+    obs::count("gpusim.thermal_samples", out.size());
+    return out;
+}
+
+std::string
+profilerCounterName(std::size_t index)
+{
+    static const char *const kClassNames[kProfilerClassCount] = {
+        "gemm",       "attn_gemm", "softmax", "layernorm",
+        "elementwise", "reduction", "memory",  "fusion"};
+    if (index < kCtrClassDurationBase)
+        return std::string("count.") + kClassNames[index];
+    if (index < kCtrTotalRecords)
+        return std::string("duration_us.") +
+               kClassNames[index - kCtrClassDurationBase];
+    switch (index) {
+    case kCtrTotalRecords:
+        return "total_records";
+    case kCtrUniqueKernels:
+        return "unique_kernels";
+    case kCtrTotalTimeUs:
+        return "total_time_us";
+    case kCtrPeakDurationUs:
+        return "peak_duration_us";
+    case kCtrMeanDurationUs:
+        return "mean_duration_us";
+    case kCtrEncoderRecords:
+        return "encoder_records";
+    case kCtrEncoderTimeFraction:
+        return "encoder_time_fraction";
+    default:
+        return "unknown";
+    }
+}
+
+std::vector<double>
+emitProfilerCounters(const KernelTrace &trace,
+                     const EmissionOptions &opts, std::uint64_t run_seed)
+{
+    auto sp = obs::span("gpusim.emit_counters", "gpusim");
+    std::vector<double> ctr(kProfilerCounterCount, 0.0);
+    if (trace.records.empty())
+        return ctr;
+
+    double encoder_time = 0.0;
+    double total_dur = 0.0;
+    for (const auto &r : trace.records) {
+        const auto k = static_cast<std::size_t>(r.klass);
+        assert(k < kProfilerClassCount);
+        ctr[kCtrClassCountBase + k] += 1.0;
+        ctr[kCtrClassDurationBase + k] += r.duration();
+        total_dur += r.duration();
+        if (r.phase == Phase::Encoder) {
+            ctr[kCtrEncoderRecords] += 1.0;
+            encoder_time += r.duration();
+        }
+    }
+    ctr[kCtrTotalRecords] = static_cast<double>(trace.records.size());
+    ctr[kCtrUniqueKernels] =
+        static_cast<double>(trace.uniqueKernelCount());
+    ctr[kCtrTotalTimeUs] = trace.totalTime();
+    ctr[kCtrPeakDurationUs] = trace.peakDuration();
+    ctr[kCtrMeanDurationUs] =
+        total_dur / static_cast<double>(trace.records.size());
+    ctr[kCtrEncoderTimeFraction] =
+        total_dur > 0.0 ? encoder_time / total_dur : 0.0;
+
+    // Duration-valued counters carry the profiler's measurement
+    // jitter and coarse quantization; counts are exact (a launch is a
+    // launch). Per-counter streams are split so the vector is stable
+    // under any evaluation order.
+    const util::Rng jitter_root(run_seed ^ kCounterStreamTag);
+    const auto jittered = [&](std::size_t index) {
+        double v = ctr[index];
+        if (opts.counterRelativeJitter > 0.0) {
+            util::Rng r = jitter_root.split(index);
+            v *= 1.0 + r.gaussian(0.0, opts.counterRelativeJitter);
+        }
+        if (opts.counterQuantumUs > 0.0)
+            v = std::round(v / opts.counterQuantumUs) *
+                opts.counterQuantumUs;
+        return std::max(0.0, v);
+    };
+    for (std::size_t k = 0; k < kProfilerClassCount; ++k)
+        ctr[kCtrClassDurationBase + k] =
+            jittered(kCtrClassDurationBase + k);
+    ctr[kCtrTotalTimeUs] = jittered(kCtrTotalTimeUs);
+    ctr[kCtrPeakDurationUs] = jittered(kCtrPeakDurationUs);
+    ctr[kCtrMeanDurationUs] = jittered(kCtrMeanDurationUs);
+    obs::count("gpusim.profiler_sessions");
+    return ctr;
+}
+
+} // namespace decepticon::gpusim

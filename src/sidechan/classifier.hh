@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Lightweight per-channel lineage classifiers. Each emission channel
+ * gets its own two-layer MLP over the channel's feature vector,
+ * trained on the attacker's own profiling of the candidate pool —
+ * the same protocol as the fingerprint CNN, at a fraction of the
+ * cost. Input standardization is fitted at train time and baked into
+ * the classifier, so victim features are scaled exactly like
+ * training features.
+ */
+
+#ifndef DECEPTICON_SIDECHAN_CLASSIFIER_HH
+#define DECEPTICON_SIDECHAN_CLASSIFIER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/channel.hh"
+#include "nn/linear.hh"
+#include "nn/loss.hh"
+#include "util/rng.hh"
+
+namespace decepticon::sidechan {
+
+/** Training knobs for one channel classifier. */
+struct ChannelClassifierOptions
+{
+    std::size_t hidden = 32;
+    std::size_t epochs = 80;
+    float lr = 4e-3f;
+    std::size_t batchSize = 8;
+    std::uint64_t shuffleSeed = 11;
+};
+
+/**
+ * feature -> fc(hidden, ReLU) -> fc(classes) with standardized
+ * inputs. Deliberately tiny: channel evidence is fused downstream,
+ * so each classifier only needs to beat chance by a usable margin.
+ */
+class ChannelClassifier
+{
+  public:
+    ChannelClassifier(fault::Channel channel, std::size_t feature_dim,
+                      std::size_t num_classes, std::uint64_t seed,
+                      std::size_t hidden = 32);
+
+    fault::Channel channel() const { return channel_; }
+    std::size_t featureDim() const { return featureDim_; }
+    std::size_t numClasses() const { return numClasses_; }
+
+    /**
+     * Fit standardization and train the MLP. features[i] labels[i]
+     * pair up; every feature vector must have featureDim() entries.
+     * Returns the final-epoch mean loss.
+     */
+    float train(const std::vector<std::vector<float>> &features,
+                const std::vector<int> &labels,
+                const ChannelClassifierOptions &opts);
+
+    /** Softmax class probabilities for one feature vector. */
+    std::vector<double>
+    classProbabilities(const std::vector<float> &features);
+
+    /** Argmax class for one feature vector. */
+    int predict(const std::vector<float> &features);
+
+    /** Classification accuracy over a labeled set. */
+    double evaluate(const std::vector<std::vector<float>> &features,
+                    const std::vector<int> &labels);
+
+  private:
+    tensor::Tensor
+    toBatch(const std::vector<const std::vector<float> *> &rows) const;
+
+    fault::Channel channel_;
+    std::size_t featureDim_;
+    std::size_t numClasses_;
+    util::Rng rng_; // must precede the layers it initializes
+    nn::Linear fc1_;
+    nn::Linear fc2_;
+    nn::SoftmaxCrossEntropy loss_;
+    /** Per-dimension standardization (mean, inverse scale). */
+    std::vector<float> mean_;
+    std::vector<float> invScale_;
+};
+
+} // namespace decepticon::sidechan
+
+#endif // DECEPTICON_SIDECHAN_CLASSIFIER_HH

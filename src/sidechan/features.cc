@@ -1,0 +1,270 @@
+#include "sidechan/features.hh"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "gpusim/emission.hh"
+
+namespace decepticon::sidechan {
+
+namespace {
+
+// Normalization constants: generous full-scale values so features
+// land in [0, ~1] without data-dependent scaling (which would leak
+// between train and victim distributions).
+constexpr double kPowerFullScaleWatts = 400.0;
+constexpr double kThermalFullScaleC = 150.0;
+
+double
+quantile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double pos =
+        q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/** Mean and standard deviation of a series. */
+std::pair<double, double>
+meanStd(const std::vector<double> &v)
+{
+    if (v.empty())
+        return {0.0, 0.0};
+    double mean = 0.0;
+    for (double x : v)
+        mean += x;
+    mean /= static_cast<double>(v.size());
+    double var = 0.0;
+    for (double x : v)
+        var += (x - mean) * (x - mean);
+    var /= static_cast<double>(v.size());
+    return {mean, std::sqrt(var)};
+}
+
+/** Normalized autocorrelation of the mean-removed series at `lag`. */
+double
+autocorrAt(const std::vector<double> &v, double mean, double var,
+           std::size_t lag)
+{
+    if (var <= 1e-12 || lag >= v.size())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i + lag < v.size(); ++i)
+        sum += (v[i] - mean) * (v[i + lag] - mean);
+    return sum / (var * static_cast<double>(v.size() - lag));
+}
+
+/** 8-bin histogram of values over [lo, hi], mass-normalized. */
+void
+pushHistogram(std::vector<float> &out, const std::vector<double> &v,
+              double lo, double hi)
+{
+    constexpr std::size_t kBins = 8;
+    std::array<double, kBins> bins{};
+    for (double x : v) {
+        const double u =
+            std::clamp((x - lo) / (hi - lo), 0.0, 1.0 - 1e-9);
+        bins[static_cast<std::size_t>(u * kBins)] += 1.0;
+    }
+    const double n = std::max<double>(1.0, static_cast<double>(v.size()));
+    for (double b : bins)
+        out.push_back(static_cast<float>(b / n));
+}
+
+} // anonymous namespace
+
+std::size_t
+featureDim(fault::Channel channel)
+{
+    switch (channel) {
+    case fault::Channel::Timestamp:
+        return 0;
+    case fault::Channel::Power:
+        return kPowerFeatureDim;
+    case fault::Channel::Thermal:
+        return kThermalFeatureDim;
+    case fault::Channel::Profiler:
+        return kProfilerFeatureDim;
+    }
+    return 0;
+}
+
+std::vector<float>
+powerFeatures(const std::vector<double> &series)
+{
+    std::vector<float> out;
+    out.reserve(kPowerFeatureDim);
+    if (series.empty())
+        return std::vector<float>(kPowerFeatureDim, 0.0f);
+
+    const auto [mean, stddev] = meanStd(series);
+    std::vector<double> sorted = series;
+    std::sort(sorted.begin(), sorted.end());
+    const double norm = kPowerFullScaleWatts;
+    out.push_back(static_cast<float>(mean / norm));
+    out.push_back(static_cast<float>(stddev / norm));
+    out.push_back(static_cast<float>(sorted.front() / norm));
+    out.push_back(static_cast<float>(sorted.back() / norm));
+    out.push_back(static_cast<float>(quantile(sorted, 0.25) / norm));
+    out.push_back(static_cast<float>(quantile(sorted, 0.5) / norm));
+    out.push_back(static_cast<float>(quantile(sorted, 0.75) / norm));
+    out.push_back(
+        static_cast<float>((sorted.back() - sorted.front()) / norm));
+
+    pushHistogram(out, series, 0.0, kPowerFullScaleWatts);
+
+    // Periodicity: the per-encoder kernel group repeats, so the power
+    // signal has a dominant period proportional to trace length over
+    // layer count — a structure probe the victim cannot cheaply hide.
+    const double var = stddev * stddev;
+    double best_corr = 0.0, second_corr = 0.0;
+    std::size_t best_lag = 0;
+    const std::size_t max_lag = series.size() / 2;
+    for (std::size_t lag = 4; lag < max_lag; ++lag) {
+        const double c = autocorrAt(series, mean, var, lag);
+        if (c > best_corr) {
+            second_corr = best_corr;
+            best_corr = c;
+            best_lag = lag;
+        } else if (c > second_corr) {
+            second_corr = c;
+        }
+    }
+    out.push_back(static_cast<float>(
+        static_cast<double>(best_lag) /
+        static_cast<double>(series.size())));
+    out.push_back(static_cast<float>(best_corr));
+    out.push_back(static_cast<float>(second_corr));
+
+    // Burst shape: how often the draw crosses its mean upward, and
+    // the duty cycle above the mean.
+    std::size_t crossings = 0, above = 0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        above += series[i] > mean ? 1 : 0;
+        if (i > 0 && series[i - 1] <= mean && series[i] > mean)
+            ++crossings;
+    }
+    out.push_back(static_cast<float>(
+        static_cast<double>(crossings) /
+        static_cast<double>(series.size())));
+    out.push_back(static_cast<float>(
+        static_cast<double>(above) /
+        static_cast<double>(series.size())));
+
+    // Coarse temporal shape + (log) length.
+    const std::size_t quarter = std::max<std::size_t>(1, series.size() / 4);
+    double head = 0.0, tail = 0.0;
+    for (std::size_t i = 0; i < quarter; ++i) {
+        head += series[i];
+        tail += series[series.size() - 1 - i];
+    }
+    out.push_back(static_cast<float>(
+        head / static_cast<double>(quarter) / norm));
+    out.push_back(static_cast<float>(
+        tail / static_cast<double>(quarter) / norm));
+    out.push_back(static_cast<float>(
+        std::log1p(static_cast<double>(series.size())) / 10.0));
+
+    assert(out.size() == kPowerFeatureDim);
+    return out;
+}
+
+std::vector<float>
+thermalFeatures(const std::vector<double> &series)
+{
+    std::vector<float> out;
+    out.reserve(kThermalFeatureDim);
+    if (series.empty())
+        return std::vector<float>(kThermalFeatureDim, 0.0f);
+
+    const auto [mean, stddev] = meanStd(series);
+    const double norm = kThermalFullScaleC;
+    const double mn = *std::min_element(series.begin(), series.end());
+    const double mx = *std::max_element(series.begin(), series.end());
+    out.push_back(static_cast<float>(mean / norm));
+    out.push_back(static_cast<float>(stddev / norm));
+    out.push_back(static_cast<float>(mn / norm));
+    out.push_back(static_cast<float>(mx / norm));
+    out.push_back(static_cast<float>(series.back() / norm));
+
+    // Rise dynamics: initial slope and the fraction of the envelope
+    // climbed in the first quarter — together a proxy for sustained
+    // draw versus bursty draw.
+    const std::size_t quarter = std::max<std::size_t>(1, series.size() / 4);
+    const double early_rise = series[quarter - 1] - series.front();
+    const double full_rise = std::max(1e-9, mx - series.front());
+    out.push_back(static_cast<float>(early_rise / norm));
+    out.push_back(static_cast<float>(
+        std::clamp(early_rise / full_rise, -1.0, 1.0)));
+    out.push_back(static_cast<float>(
+        std::log1p(static_cast<double>(series.size())) / 10.0));
+
+    pushHistogram(out, series, 0.0, kThermalFullScaleC);
+
+    assert(out.size() == kThermalFeatureDim);
+    return out;
+}
+
+std::vector<float>
+profilerFeatures(const std::vector<double> &counters)
+{
+    namespace gs = decepticon::gpusim;
+    std::vector<float> out(kProfilerFeatureDim, 0.0f);
+    if (counters.empty())
+        return out;
+    const auto at = [&](std::size_t i) {
+        return i < counters.size() ? counters[i] : 0.0;
+    };
+    const double records = std::max(1.0, at(gs::kCtrTotalRecords));
+    const double total_us = std::max(1.0, at(gs::kCtrTotalTimeUs));
+    std::size_t w = 0;
+    // Class mix: launch counts per record, duration share per class —
+    // the InferNet feature set.
+    for (std::size_t k = 0; k < gs::kProfilerClassCount; ++k)
+        out[w++] = static_cast<float>(
+            at(gs::kCtrClassCountBase + k) / records);
+    for (std::size_t k = 0; k < gs::kProfilerClassCount; ++k)
+        out[w++] = static_cast<float>(
+            at(gs::kCtrClassDurationBase + k) / total_us);
+    out[w++] = static_cast<float>(std::log1p(records) / 10.0);
+    out[w++] = static_cast<float>(std::log1p(total_us) / 15.0);
+    out[w++] = static_cast<float>(
+        at(gs::kCtrUniqueKernels) / records);
+    out[w++] = static_cast<float>(
+        at(gs::kCtrPeakDurationUs) / total_us);
+    out[w++] = static_cast<float>(
+        at(gs::kCtrMeanDurationUs) * records / total_us);
+    out[w++] = static_cast<float>(
+        at(gs::kCtrEncoderRecords) / records);
+    out[w++] = static_cast<float>(at(gs::kCtrEncoderTimeFraction));
+    out[w++] = static_cast<float>(
+        std::log1p(at(gs::kCtrUniqueKernels)) / 6.0);
+    assert(w == kProfilerFeatureDim);
+    return out;
+}
+
+std::vector<float>
+channelFeatures(fault::Channel channel,
+                const std::vector<double> &series)
+{
+    switch (channel) {
+    case fault::Channel::Power:
+        return powerFeatures(series);
+    case fault::Channel::Thermal:
+        return thermalFeatures(series);
+    case fault::Channel::Profiler:
+        return profilerFeatures(series);
+    case fault::Channel::Timestamp:
+        break;
+    }
+    assert(false && "timestamp channel is classified by the CNN");
+    return {};
+}
+
+} // namespace decepticon::sidechan

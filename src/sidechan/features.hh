@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-channel feature extraction: each emission channel's raw sample
+ * series is condensed into a fixed-length, scale-normalized feature
+ * vector the lightweight channel classifiers train on. Features are
+ * pure functions of the series, so the extractors can run in parallel
+ * per capture on the sched pool without ordering effects.
+ *
+ * The feature families mirror what Energon and InferNet exploit:
+ * power level statistics and histogram (which kernel classes run, in
+ * what mix), autocorrelation periodicity (how many encoder layers),
+ * thermal envelope shape (sustained compute intensity), and the
+ * normalized profiler counter mix.
+ */
+
+#ifndef DECEPTICON_SIDECHAN_FEATURES_HH
+#define DECEPTICON_SIDECHAN_FEATURES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/channel.hh"
+
+namespace decepticon::sidechan {
+
+inline constexpr std::size_t kPowerFeatureDim = 24;
+inline constexpr std::size_t kThermalFeatureDim = 16;
+/** Profiler features add one derived slot (log total records). */
+inline constexpr std::size_t kProfilerFeatureDim = 24;
+
+/** Feature dimensionality of one channel (0 for Timestamp, which is
+ *  classified by the fingerprint CNN, not a feature MLP). */
+std::size_t featureDim(fault::Channel channel);
+
+/** Power-draw series -> kPowerFeatureDim features. Empty series map
+ *  to all-zero vectors (the classifier never sees them; availability
+ *  gating happens upstream). */
+std::vector<float> powerFeatures(const std::vector<double> &series);
+
+/** Thermal envelope -> kThermalFeatureDim features. */
+std::vector<float> thermalFeatures(const std::vector<double> &series);
+
+/** Profiler counter vector -> kProfilerFeatureDim features. Accepts
+ *  vectors shorter than the full counter layout (truncated/dropped
+ *  captures); missing counters read zero. */
+std::vector<float> profilerFeatures(const std::vector<double> &counters);
+
+/** Dispatch on channel. @pre channel != Timestamp */
+std::vector<float> channelFeatures(fault::Channel channel,
+                                   const std::vector<double> &series);
+
+} // namespace decepticon::sidechan
+
+#endif // DECEPTICON_SIDECHAN_FEATURES_HH

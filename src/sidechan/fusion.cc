@@ -1,0 +1,124 @@
+#include "sidechan/fusion.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "obs/obs.hh"
+
+namespace decepticon::sidechan {
+
+FusionEngine::FusionEngine(std::size_t num_classes,
+                           const FusionOptions &opts)
+    : numClasses_(num_classes), opts_(opts)
+{
+    assert(num_classes > 0);
+}
+
+void
+FusionEngine::setReliabilityPrior(fault::Channel channel,
+                                  double heldout_accuracy)
+{
+    const auto c = static_cast<std::size_t>(channel);
+    priors_[c] = std::clamp(heldout_accuracy, 0.0, 1.0);
+    registered_[c] = true;
+    obs::gaugeSet((std::string("sidechan.prior.") +
+                   fault::channelName(channel))
+                      .c_str(),
+                  priors_[c]);
+}
+
+double
+FusionEngine::reliabilityPrior(fault::Channel channel) const
+{
+    return priors_[static_cast<std::size_t>(channel)];
+}
+
+double
+FusionEngine::channelWeight(fault::Channel channel) const
+{
+    const auto c = static_cast<std::size_t>(channel);
+    if (!registered_[c])
+        return 0.0;
+    // Skill = excess accuracy over chance, renormalized to [0, 1].
+    // An at-chance channel carries no information; the floor keeps a
+    // barely-better-than-chance channel's tie-breaking value alive.
+    const double chance = 1.0 / static_cast<double>(numClasses_);
+    const double skill =
+        std::max(0.0, (priors_[c] - chance) / (1.0 - chance));
+    return std::max(opts_.priorFloor, skill);
+}
+
+FusionDecision
+FusionEngine::fuse(const std::vector<ChannelEvidence> &evidence) const
+{
+    auto sp = obs::span("sidechan.fuse", "sidechan");
+    FusionDecision decision;
+
+    // Maximum possible evidence mass: every registered channel at
+    // quality 1. The denominator of the calibration term.
+    double max_mass = 0.0;
+    for (std::size_t c = 0; c < fault::kNumChannels; ++c) {
+        if (registered_[c])
+            max_mass += channelWeight(static_cast<fault::Channel>(c));
+    }
+
+    std::vector<double> logp(numClasses_, 0.0);
+    double mass = 0.0;
+    for (const auto &ev : evidence) {
+        if (!ev.available || ev.probs.empty())
+            continue;
+        assert(ev.probs.size() == numClasses_);
+        const double w = channelWeight(ev.channel) *
+                         std::clamp(ev.quality, 0.0, 1.0);
+        if (w <= 0.0)
+            continue;
+        ++decision.channelsAvailable;
+        mass += w;
+        for (std::size_t k = 0; k < numClasses_; ++k)
+            logp[k] += w * std::log(std::max(ev.probs[k], 1e-9));
+    }
+    sp.arg("channels", static_cast<std::uint64_t>(
+                           decision.channelsAvailable));
+
+    if (decision.channelsAvailable == 0 || mass <= 0.0) {
+        decision.verdict = FusionVerdict::InsufficientEvidence;
+        obs::count("sidechan.fusion_insufficient");
+        return decision;
+    }
+
+    // Weighted geometric mean of the posteriors: normalize the
+    // exponent by the mass so the sharpness of the fused posterior
+    // reflects channel agreement, not channel count.
+    double peak = -1e300;
+    for (std::size_t k = 0; k < numClasses_; ++k) {
+        logp[k] /= mass;
+        peak = std::max(peak, logp[k]);
+    }
+    decision.fusedProbs.resize(numClasses_);
+    double z = 0.0;
+    for (std::size_t k = 0; k < numClasses_; ++k) {
+        decision.fusedProbs[k] = std::exp(logp[k] - peak);
+        z += decision.fusedProbs[k];
+    }
+    for (auto &p : decision.fusedProbs)
+        p /= z;
+
+    const auto top = std::max_element(decision.fusedProbs.begin(),
+                                      decision.fusedProbs.end());
+    decision.label =
+        static_cast<int>(top - decision.fusedProbs.begin());
+    decision.coverage =
+        max_mass > 0.0 ? std::min(1.0, mass / max_mass) : 0.0;
+    // Calibration: identical posteriors earn less confidence when
+    // most of the expected evidence never arrived.
+    decision.confidence = *top * std::sqrt(decision.coverage);
+    decision.verdict = FusionVerdict::Identified;
+    obs::count("sidechan.fusion_decisions");
+    obs::gaugeSet("sidechan.fusion_confidence", decision.confidence);
+    obs::gaugeSet("sidechan.fusion_coverage", decision.coverage);
+    return decision;
+}
+
+} // namespace decepticon::sidechan

@@ -7,15 +7,22 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <vector>
 
 #include "attack/adversarial.hh"
 #include "attack/head_pruning.hh"
+#include "core/decepticon.hh"
+#include "core/run_report.hh"
+#include "fault/channel.hh"
 #include "fingerprint/boundary.hh"
 #include "fingerprint/cnn.hh"
 #include "fingerprint/dataset.hh"
+#include "gpusim/emission.hh"
 #include "gpusim/noise.hh"
 #include "gpusim/trace_generator.hh"
+#include "sched/sched.hh"
 #include "trace/image.hh"
 #include "transformer/trainer.hh"
 #include "zoo/zoo.hh"
@@ -25,6 +32,8 @@ namespace df = decepticon::fingerprint;
 namespace dtc = decepticon::trace;
 namespace dtr = decepticon::transformer;
 namespace dz = decepticon::zoo;
+namespace dc = decepticon::core;
+namespace dfl = decepticon::fault;
 
 namespace {
 
@@ -299,3 +308,349 @@ TEST_P(DefenseSweep, ScheduleInstabilityGrowsWithStrength)
 }
 
 INSTANTIATE_TEST_SUITE_P(Dialects, DefenseSweep, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------
+// Multi-modal side-channel fusion: the channel-dropout matrix
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Shared trained multi-channel pipeline over a small pool. */
+struct FusionFixture
+{
+    dz::ModelZoo zoo;
+    dc::Decepticon pipeline;
+    double testAccuracy;
+
+    FusionFixture()
+        : zoo(dz::ModelZoo::buildDefault(11, 5, 10)),
+          pipeline(makeOptions()),
+          testAccuracy(pipeline.trainExtractor(zoo))
+    {
+    }
+
+    static dc::DecepticonOptions
+    makeOptions()
+    {
+        dc::DecepticonOptions opts;
+        opts.datasetOptions.imagesPerModel = 4;
+        opts.datasetOptions.resolution = 32;
+        opts.cnnOptions.epochs = 30;
+        opts.seed = 3;
+        return opts;
+    }
+};
+
+FusionFixture &
+fusionFixture()
+{
+    static FusionFixture fx;
+    return fx;
+}
+
+/** One victim's clean emissions (generated once, corrupted per cell). */
+struct VictimEmissions
+{
+    const dz::ModelIdentity *victim;
+    std::vector<double> power;
+    std::vector<double> thermal;
+    std::vector<double> profiler;
+};
+
+const std::vector<VictimEmissions> &
+victimEmissions(FusionFixture &fx)
+{
+    static std::vector<VictimEmissions> cache = [&] {
+        std::vector<VictimEmissions> out;
+        const dg::EmissionOptions eopts;
+        std::uint64_t seed = 0x90d0;
+        for (const auto *victim : fx.zoo.finetuned()) {
+            const auto trace = dg::TraceGenerator(victim->signature)
+                                   .generate(victim->arch, ++seed);
+            VictimEmissions ve;
+            ve.victim = victim;
+            ve.power = dg::emitPowerTrace(trace, eopts, seed);
+            ve.thermal = dg::emitThermalTrace(trace, eopts, seed);
+            ve.profiler = dg::emitProfilerCounters(trace, eopts, seed);
+            out.push_back(std::move(ve));
+        }
+        return out;
+    }();
+    return cache;
+}
+
+/** Fault spec for one matrix cell: channels outside the availability
+ *  subset are jammed; channels inside degrade with severity. */
+dfl::MultiChannelFaultSpec
+cellSpec(bool power_on, bool thermal_on, bool profiler_on,
+         double severity)
+{
+    dfl::MultiChannelFaultSpec spec;
+    spec.seed = 0xfa57;
+    spec.at(dfl::Channel::Timestamp).jammed = true;
+    const bool on[3] = {power_on, thermal_on, profiler_on};
+    const dfl::Channel chans[3] = {dfl::Channel::Power,
+                                   dfl::Channel::Thermal,
+                                   dfl::Channel::Profiler};
+    for (int i = 0; i < 3; ++i) {
+        auto &c = spec.at(chans[i]);
+        if (!on[i]) {
+            c.jammed = true;
+            continue;
+        }
+        c.dropoutRate = 0.3 * severity;
+        c.truncateProbability = 0.5 * severity;
+        c.noiseSigma = 0.3 * severity;
+        c.quantStep = 0.05 * severity;
+    }
+    return spec;
+}
+
+struct CellOutcome
+{
+    double accuracy = 0.0;
+    double insufficientFraction = 0.0;
+    double meanConfidence = 0.0;
+};
+
+constexpr std::size_t kCellCaptures = 3;
+
+double
+resultConfidence(const dc::IdentificationResult &res)
+{
+    if (res.insufficientEvidence)
+        return 0.0;
+    return res.usedChannelFusion ? res.fusedConfidence
+                                 : res.topProbability;
+}
+
+/** Run one matrix cell (timestamp jammed) over every victim. */
+CellOutcome
+runCell(FusionFixture &fx, bool power_on, bool thermal_on,
+        bool profiler_on, double severity)
+{
+    dfl::MultiChannelFaultModel faults(
+        cellSpec(power_on, thermal_on, profiler_on, severity));
+    CellOutcome out;
+    const auto &victims = victimEmissions(fx);
+    double correct = 0.0, insufficient = 0.0, confidence = 0.0;
+    std::uint64_t capture_seed = 0;
+    for (const auto &ve : victims) {
+        dc::MultiChannelCapture mc;
+        for (std::size_t r = 0; r < kCellCaptures; ++r) {
+            ++capture_seed;
+            mc.powerCaptures.push_back(faults.corrupt(
+                dfl::Channel::Power, ve.power, capture_seed));
+            mc.thermalCaptures.push_back(faults.corrupt(
+                dfl::Channel::Thermal, ve.thermal, capture_seed));
+            mc.profilerCaptures.push_back(faults.corrupt(
+                dfl::Channel::Profiler, ve.profiler, capture_seed));
+        }
+        const auto res = fx.pipeline.identifyFused(mc);
+        if (res.insufficientEvidence) {
+            insufficient += 1.0;
+            EXPECT_TRUE(res.pretrainedName.empty());
+        } else if (res.pretrainedName == ve.victim->pretrainedName) {
+            correct += 1.0;
+        }
+        confidence += resultConfidence(res);
+    }
+    const auto n = static_cast<double>(victims.size());
+    out.accuracy = correct / n;
+    out.insufficientFraction = insufficient / n;
+    out.meanConfidence = confidence / n;
+    return out;
+}
+
+} // namespace
+
+TEST(Fusion, ChannelDropoutMatrix)
+{
+    auto &fx = fusionFixture();
+    ASSERT_NE(fx.pipeline.fusionEngine(), nullptr);
+
+    const double severities[] = {0.0, 1.0};
+    for (double severity : severities) {
+        CellOutcome cells[2][2][2];
+        for (int p = 0; p < 2; ++p) {
+            for (int t = 0; t < 2; ++t) {
+                for (int pr = 0; pr < 2; ++pr)
+                    cells[p][t][pr] =
+                        runCell(fx, p != 0, t != 0, pr != 0, severity);
+            }
+        }
+
+        // Total blackout: every victim yields an explicit
+        // insufficient-evidence verdict, never a silent guess.
+        EXPECT_DOUBLE_EQ(cells[0][0][0].insufficientFraction, 1.0);
+        EXPECT_DOUBLE_EQ(cells[0][0][0].accuracy, 0.0);
+        EXPECT_DOUBLE_EQ(cells[0][0][0].meanConfidence, 0.0);
+
+        // Any nonempty subset always answers (best-effort, possibly
+        // low confidence) — graceful degradation, not refusal.
+        for (int p = 0; p < 2; ++p) {
+            for (int t = 0; t < 2; ++t) {
+                for (int pr = 0; pr < 2; ++pr) {
+                    if (p + t + pr == 0)
+                        continue;
+                    EXPECT_DOUBLE_EQ(
+                        cells[p][t][pr].insufficientFraction, 0.0)
+                        << "subset p=" << p << " t=" << t
+                        << " pr=" << pr;
+                }
+            }
+        }
+
+        // Monotonicity: adding a channel never costs more than a
+        // small slack in accuracy (2 victims here).
+        const double slack = 0.2;
+        for (int p = 0; p < 2; ++p) {
+            for (int t = 0; t < 2; ++t) {
+                for (int pr = 0; pr < 2; ++pr) {
+                    const auto &base = cells[p][t][pr];
+                    if (p == 0) {
+                        EXPECT_GE(cells[1][t][pr].accuracy,
+                                  base.accuracy - slack);
+                    }
+                    if (t == 0) {
+                        EXPECT_GE(cells[p][1][pr].accuracy,
+                                  base.accuracy - slack);
+                    }
+                    if (pr == 0) {
+                        EXPECT_GE(cells[p][t][1].accuracy,
+                                  base.accuracy - slack);
+                    }
+                }
+            }
+        }
+
+        // Calibration: full-evidence decisions carry at least the
+        // confidence of single-channel decisions on average.
+        const double full_conf = cells[1][1][1].meanConfidence;
+        EXPECT_GE(full_conf + 0.05, cells[1][0][0].meanConfidence);
+        EXPECT_GE(full_conf + 0.05, cells[0][1][0].meanConfidence);
+        EXPECT_GE(full_conf + 0.05, cells[0][0][1].meanConfidence);
+
+        if (severity == 0.0) {
+            // Acceptance: timestamp fully jammed, the other three
+            // channels healthy -> at least 70% of victims identified.
+            EXPECT_GE(cells[1][1][1].accuracy, 0.7);
+        }
+    }
+
+    // Fault severity monotonicity on the full subset.
+    const auto clean = runCell(fx, true, true, true, 0.0);
+    const auto harsh = runCell(fx, true, true, true, 1.0);
+    EXPECT_GE(clean.accuracy, harsh.accuracy - 0.2);
+}
+
+TEST(Fusion, AllChannelsHealthyBeatsTimestampOnly)
+{
+    auto &fx = fusionFixture();
+    const dg::EmissionOptions eopts;
+    std::size_t ts_correct = 0, fused_correct = 0;
+    std::uint64_t seed = 0x7a11;
+    for (const auto *victim : fx.zoo.finetuned()) {
+        const auto trace = dg::TraceGenerator(victim->signature)
+                               .generate(victim->arch, ++seed);
+        dc::MultiChannelCapture ts_only;
+        ts_only.timestampCaptures = {trace, trace, trace};
+        dc::MultiChannelCapture all = ts_only;
+        all.powerCaptures = {dg::emitPowerTrace(trace, eopts, seed)};
+        all.thermalCaptures = {
+            dg::emitThermalTrace(trace, eopts, seed)};
+        all.profilerCaptures = {
+            dg::emitProfilerCounters(trace, eopts, seed)};
+
+        const auto ts_res = fx.pipeline.identifyFused(ts_only);
+        const auto all_res = fx.pipeline.identifyFused(all);
+        ts_correct += ts_res.pretrainedName == victim->pretrainedName;
+        fused_correct +=
+            all_res.pretrainedName == victim->pretrainedName;
+        EXPECT_EQ(all_res.channelsAvailable, 4u);
+    }
+    // With every channel healthy the fused path must not lose to the
+    // timestamp-only path.
+    EXPECT_GE(fused_correct, ts_correct);
+}
+
+TEST(Fusion, InsufficientEvidenceInsteadOfSilentGuess)
+{
+    auto &fx = fusionFixture();
+
+    // Regression: identifyResilient used to hand back the sequence
+    // predictor's argmin even when every capture was empty — a silent
+    // wrong answer. Now the verdict is explicit.
+    std::vector<dg::KernelTrace> empties(3);
+    const auto res = fx.pipeline.identifyResilient(empties);
+    EXPECT_TRUE(res.insufficientEvidence);
+    EXPECT_TRUE(res.pretrainedName.empty());
+    EXPECT_EQ(res.channelsAvailable, 0u);
+    EXPECT_DOUBLE_EQ(res.topProbability, 0.0);
+
+    // Zero captures degrade the same way (no assert, no crash).
+    const auto none = fx.pipeline.identifyResilient({});
+    EXPECT_TRUE(none.insufficientEvidence);
+
+    // The verdict survives into the run report.
+    dc::AttackRunReport report;
+    report.recordIdentification(res);
+    EXPECT_TRUE(report.insufficientEvidence);
+    EXPECT_NE(report.toJson().find("\"insufficient_evidence\":true"),
+              std::string::npos);
+    EXPECT_NE(report.summaryParagraph().find("abstained"),
+              std::string::npos);
+}
+
+TEST(Fusion, FusedIdentificationBitIdenticalAcrossLanes)
+{
+    auto &fx = fusionFixture();
+    struct PoolGuard
+    {
+        ~PoolGuard() { decepticon::sched::setThreads(0); }
+    } guard;
+
+    // One harsh cell, all side channels up, timestamp jammed.
+    dfl::MultiChannelFaultModel faults(
+        cellSpec(true, true, true, 1.0));
+    const auto &victims = victimEmissions(fx);
+    std::vector<dc::MultiChannelCapture> captures;
+    std::uint64_t capture_seed = 0x1a7e;
+    for (const auto &ve : victims) {
+        dc::MultiChannelCapture mc;
+        for (std::size_t r = 0; r < kCellCaptures; ++r) {
+            ++capture_seed;
+            mc.powerCaptures.push_back(faults.corrupt(
+                dfl::Channel::Power, ve.power, capture_seed));
+            mc.thermalCaptures.push_back(faults.corrupt(
+                dfl::Channel::Thermal, ve.thermal, capture_seed));
+            mc.profilerCaptures.push_back(faults.corrupt(
+                dfl::Channel::Profiler, ve.profiler, capture_seed));
+        }
+        captures.push_back(std::move(mc));
+    }
+
+    decepticon::sched::setThreads(1);
+    std::vector<dc::IdentificationResult> reference;
+    for (const auto &mc : captures)
+        reference.push_back(fx.pipeline.identifyFused(mc));
+
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{8}}) {
+        decepticon::sched::setThreads(threads);
+        for (std::size_t i = 0; i < captures.size(); ++i) {
+            const auto res = fx.pipeline.identifyFused(captures[i]);
+            EXPECT_EQ(res.pretrainedName, reference[i].pretrainedName);
+            EXPECT_EQ(res.insufficientEvidence,
+                      reference[i].insufficientEvidence);
+            EXPECT_EQ(res.fusedConfidence,
+                      reference[i].fusedConfidence);
+            EXPECT_EQ(res.channelsUsed, reference[i].channelsUsed);
+            ASSERT_EQ(res.candidates.size(),
+                      reference[i].candidates.size());
+            for (std::size_t k = 0; k < res.candidates.size(); ++k)
+                EXPECT_EQ(res.candidates[k],
+                          reference[i].candidates[k]);
+        }
+    }
+}
