@@ -6,14 +6,15 @@ Usage:
     bench_compare.py --lint-report BASELINE.json CANDIDATE.json
 
 Benchmark mode: every gauge named ``bench.*.real_time`` present in
-BOTH snapshots is compared; a candidate more than ``threshold``
-(default 15%) slower than the baseline is a regression and the script
-exits 1 — the verify pipeline gates on that. Wall-clock gauges only:
-cpu_time aggregates scheduler lanes and misreports threaded
-benchmarks. Gauges present in only one snapshot (new or retired
-benchmarks) are reported but never fail the run, so adding a
-benchmark does not require regenerating the baseline in the same
-change.
+BOTH snapshots is compared, and so is every per-stage latency gauge
+ending ``.p99_micros`` (exported by the obs v2 StageTimer
+histograms); a candidate more than ``threshold`` (default 15%)
+slower than the baseline is a regression and the script exits 1 —
+the verify pipeline gates on that. Wall-clock gauges only: cpu_time
+aggregates scheduler lanes and misreports threaded benchmarks.
+Gauges present in only one snapshot (new or retired benchmarks) are
+reported but never fail the run, so adding a benchmark does not
+require regenerating the baseline in the same change.
 
 Lint mode (``--lint-report``): diff two decepticon-lint JSON reports
 (the committed ``tools/lint/lint_baseline.json`` vs a fresh
@@ -85,6 +86,16 @@ def compare_lint_reports(baseline_path, candidate_path):
     return 0
 
 
+def gated_gauge(name):
+    """Gauges judged against the slowdown threshold: benchmark wall
+    clocks plus per-stage p99 latencies (one log-histogram bucket is
+    ~9%, so a >15% p99 move is at least two buckets — real, not
+    quantization noise)."""
+    if name.startswith("bench.") and name.endswith(".real_time"):
+        return True
+    return name.endswith(".p99_micros")
+
+
 def real_time_gauges(path):
     with open(path, "r", encoding="utf-8") as f:
         snapshot = json.load(f)
@@ -92,7 +103,7 @@ def real_time_gauges(path):
     return {
         name: value
         for name, value in gauges.items()
-        if name.startswith("bench.") and name.endswith(".real_time")
+        if gated_gauge(name)
         and isinstance(value, (int, float)) and value > 0
     }
 

@@ -10,8 +10,11 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/decepticon.hh"
 #include "extraction/bitprobe.hh"
+#include "extraction/resilient.hh"
 #include "extraction/selective.hh"
+#include "fault/fault.hh"
 #include "fingerprint/cnn.hh"
 #include "fingerprint/dataset.hh"
 #include "gpusim/trace_generator.hh"
@@ -212,6 +215,127 @@ BM_DatasetGeneration(benchmark::State &state)
 BENCHMARK(BM_DatasetGeneration)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 /**
+ * Flight-recorder overhead probe: the same forward pass as
+ * BM_TransformerForward/12, but with the flight recorder armed.
+ * main() folds the pair into bench.flight.overhead_pct; the budget
+ * for always-on flight recording is <5% of real time.
+ */
+void
+BM_TransformerForwardFlightOn(benchmark::State &state)
+{
+    obs::ObsConfig ocfg;
+    ocfg.flightMode = obs::FlightMode::On;
+    obs::configure(ocfg);
+    transformer::TransformerConfig cfg;
+    cfg.vocab = 64;
+    cfg.maxSeqLen = 32;
+    cfg.hidden = 32;
+    cfg.numLayers = 12;
+    cfg.numHeads = 4;
+    cfg.ffnDim = 64;
+    transformer::TransformerClassifier model(cfg, 2);
+    std::vector<int> tokens(32, 5);
+    for (auto _ : state) {
+        auto lg = model.logits(tokens);
+        benchmark::DoNotOptimize(lg.data());
+    }
+    obs::configure(obs::ObsConfig{});
+    obs::flightRecorder().clear();
+}
+BENCHMARK(BM_TransformerForwardFlightOn);
+
+/**
+ * Drive one compact end-to-end slice of the attack pipeline with the
+ * global metrics registry enabled, so the snapshot carries per-stage
+ * latency histograms. main() folds them into
+ * bench.stage.<stage>.p50_micros / .p99_micros gauges — the inputs
+ * bench_compare.py gates p99 regressions on.
+ *
+ * The timestamp channel is jammed on the fused point so the decision
+ * graph cannot take the healthy-quorum short-circuit: the fusion
+ * engine must run, and the "fuse" stage collects real samples.
+ */
+void
+runStageLatencyWorkload()
+{
+    obs::ObsConfig ocfg;
+    ocfg.metricsEnabled = true;
+    obs::configure(ocfg);
+
+    zoo::ModelZoo pool = zoo::ModelZoo::buildDefault(9, 4, 8);
+    core::DecepticonOptions dopts;
+    dopts.datasetOptions.imagesPerModel = 2;
+    dopts.datasetOptions.resolution = 32;
+    dopts.cnnOptions.epochs = 10;
+    dopts.seed = 17;
+    core::Decepticon pipeline(dopts);
+    pipeline.trainExtractor(pool);
+
+    fault::MultiChannelFaultSpec mspec;
+    mspec.seed = 0xbe7a;
+    mspec.at(fault::Channel::Timestamp).jammed = true;
+    fault::MultiChannelFaultModel mfaults(mspec);
+
+    fault::FaultSpec tspec;
+    tspec.recordDropRate = 0.02;
+    tspec.recordDuplicateRate = 0.01;
+    tspec.seed = 616;
+    fault::FaultInjector tinj(tspec);
+
+    const gpusim::EmissionOptions eopts;
+    std::uint64_t cap_seed = 0;
+    std::size_t n = 0;
+    for (const auto *victim : pool.finetuned()) {
+        if (n >= 6)
+            break; // enough samples per stage; keep the bench brisk
+        const gpusim::TraceGenerator gen(victim->signature);
+        const auto trace =
+            gen.generate(victim->arch, 0x5ca1eULL + n); // trace_capture
+        pipeline.identify(
+            tinj.corruptTrace(trace, ++cap_seed)); // classify
+        const auto power = gpusim::emitPowerTrace(trace, eopts, n);
+        const auto thermal = gpusim::emitThermalTrace(trace, eopts, n);
+        const auto counters =
+            gpusim::emitProfilerCounters(trace, eopts, n);
+        core::MultiChannelCapture mc;
+        for (std::size_t r = 0; r < 2; ++r) {
+            ++cap_seed;
+            mc.powerCaptures.push_back(mfaults.corrupt(
+                fault::Channel::Power, power, cap_seed));
+            mc.thermalCaptures.push_back(mfaults.corrupt(
+                fault::Channel::Thermal, thermal, cap_seed));
+            mc.profilerCaptures.push_back(mfaults.corrupt(
+                fault::Channel::Profiler, counters, cap_seed));
+        }
+        pipeline.identifyFused(mc); // fuse
+        ++n;
+    }
+
+    // probe + extract: one small layer pulled through the retrying
+    // prober (per-bit probe spans) and the selective extractor.
+    gpusim::ArchParams arch;
+    arch.numLayers = 2;
+    arch.hidden = 128;
+    const auto pre = zoo::WeightStore::makePretrained(arch, 5, 2000);
+    zoo::FineTuneOptions fopts;
+    const auto victim = zoo::FineTuneSimulator::fineTune(pre, fopts, 6);
+    extraction::WeightStoreOracle oracle(victim);
+    extraction::BitProbeChannel channel(oracle);
+    extraction::ResilienceOptions ropts;
+    extraction::RetryingProber prober(channel, ropts, nullptr);
+    extraction::ExtractionPolicy policy;
+    extraction::SelectiveWeightExtractor extractor(policy);
+    extraction::ExtractionStats stats;
+    auto clone =
+        extractor.extractLayer(pre.layers[0].w, prober, 0, stats);
+    benchmark::DoNotOptimize(clone.data());
+
+    // Stop collecting but keep the registry contents: shutdown()
+    // would wipe the gauges the reporter already folded in.
+    obs::configure(obs::ObsConfig{});
+}
+
+/**
  * Console reporter that additionally folds every finished run into
  * the global metrics registry as "bench.<name>.*" gauges, so the
  * process can drop a machine-readable BENCH_*.json snapshot next to
@@ -281,6 +405,33 @@ main(int argc, char **argv)
     }
     reg.setGauge("bench.hardware_threads",
                  static_cast<double>(sched::hardwareThreads()));
+
+    // Flight overhead: armed vs unarmed forward pass, as a percent of
+    // the unarmed real time. Budget: <5%.
+    const double base_rt =
+        reg.gauge("bench.BM_TransformerForward/12.real_time");
+    const double flight_rt =
+        reg.gauge("bench.BM_TransformerForwardFlightOn.real_time");
+    if (base_rt > 0.0 && flight_rt > 0.0)
+        reg.setGauge("bench.flight.overhead_pct",
+                     (flight_rt - base_rt) / base_rt * 100.0);
+
+    // Per-stage latency quantiles from the instrumented pipeline
+    // slice, exported as plain gauges so bench_compare.py can gate
+    // p99 regressions without reparsing histograms.
+    runStageLatencyWorkload();
+    for (const char *stage : {"probe", "trace_capture", "classify",
+                              "fuse", "extract"}) {
+        const auto hist =
+            reg.latency(std::string("stage.") + stage + ".micros");
+        if (!hist || hist->total() == 0)
+            continue;
+        const std::string base = std::string("bench.stage.") + stage;
+        reg.setGauge(base + ".p50_micros", hist->quantile(0.50));
+        reg.setGauge(base + ".p99_micros", hist->quantile(0.99));
+        reg.setGauge(base + ".samples",
+                     static_cast<double>(hist->total()));
+    }
 
     std::ofstream out("BENCH_perf_microbench.json");
     obs::metrics().exportJson(out);

@@ -49,6 +49,7 @@
 #include "gpusim/emission.hh"
 #include "gpusim/trace_generator.hh"
 #include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "sched/sched.hh"
 #include "util/table.hh"
 
@@ -89,6 +90,16 @@ main()
     // Every sweep point lands in this registry (via the stat structs'
     // toMetrics) and is dumped as BENCH_robust_extraction_sweep.json.
     obs::MetricsRegistry bench_reg;
+
+    // Arm the global registry for the whole sweep so the pipeline's
+    // StageTimers accumulate per-stage latency histograms; the end of
+    // main() folds their quantiles into bench_reg as
+    // sweep.stage.<stage>.p50_micros / .p99_micros gauges.
+    {
+        obs::ObsConfig ocfg;
+        ocfg.metricsEnabled = true;
+        obs::configure(ocfg);
+    }
     const auto point_label = [](const char *part, double knob,
                                 const char *suffix) {
         std::ostringstream oss;
@@ -489,6 +500,24 @@ main()
     bench_reg.setGauge("sweep.clean_extractor_acc", clean_acc);
     clean_run.stats.toMetrics(bench_reg, "sweep.clean.extract");
     clean_run.probe.toMetrics(bench_reg, "sweep.clean.probe");
+
+    // Fold the global registry's stage histograms (filled by every
+    // identify/extract call above) into the sweep snapshot, then stop
+    // collecting. The per-stage p50/p99 table in EXPERIMENTS.md reads
+    // from exactly these gauges.
+    for (const char *stage : {"probe", "trace_capture", "classify",
+                              "fuse", "extract"}) {
+        const auto hist = obs::metrics().latency(
+            std::string("stage.") + stage + ".micros");
+        if (!hist || hist->total() == 0)
+            continue;
+        const std::string base = std::string("sweep.stage.") + stage;
+        bench_reg.setGauge(base + ".p50_micros", hist->quantile(0.50));
+        bench_reg.setGauge(base + ".p99_micros", hist->quantile(0.99));
+        bench_reg.setGauge(base + ".samples",
+                           static_cast<double>(hist->total()));
+    }
+    obs::configure(obs::ObsConfig{});
     {
         std::ofstream out("BENCH_robust_extraction_sweep.json");
         bench_reg.exportJson(out);

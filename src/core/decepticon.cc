@@ -175,6 +175,7 @@ Decepticon::identify(const gpusim::KernelTrace &victim_trace,
 
     auto sp = obs::span("level1.identify", "level1");
     obs::count("level1.identifies");
+    obs::StageTimer stage_timer("classify");
 
     auto raster_span = obs::span("level1.rasterize", "level1");
     const tensor::Tensor image = fingerprint::fingerprintImage(
@@ -206,6 +207,7 @@ Decepticon::identify(const gpusim::KernelTrace &victim_trace,
     if (ambiguous.size() > 1 && query_victim) {
         result.usedQueryProbes = true;
         obs::count("level1.query_probe_rounds");
+        obs::StageTimer probe_timer("probe");
         auto probe_span = obs::span("level1.query_probes", "level1");
         const std::vector<bool> victim_resp = query_victim();
         int best = ambiguous[0];
@@ -269,6 +271,8 @@ Decepticon::identifyFused(
     assert(cnn_ && "trainExtractor must run first");
 
     auto sp = obs::span("level1.identify_fused", "level1");
+    obs::count("level1.identifies");
+    obs::StageTimer stage_timer("classify");
 
     IdentificationResult result;
     result.capturesUsed = capture.timestampCaptures.size() +
@@ -335,6 +339,9 @@ Decepticon::identifyFused(
         // Total blackout: say so instead of guessing.
         result.insufficientEvidence = true;
         obs::count("level1.insufficient_evidence");
+        obs::flightRecord(obs::FlightEventKind::Verdict, "classify",
+                          "insufficient_blackout");
+        obs::flightNoteError();
         sp.arg("verdict", "insufficient");
         return result;
     }
@@ -408,6 +415,8 @@ Decepticon::identifyFused(
                 result.pretrainedName = classNames_[cnn_winner];
             obs::gaugeSet("level1.quorum_agreement",
                           result.quorumAgreement);
+            obs::flightRecord(obs::FlightEventKind::Verdict, "classify",
+                              "timestamp", result.quorumAgreement);
             sp.arg("verdict", "timestamp");
             return result;
         }
@@ -537,6 +546,8 @@ Decepticon::identifyFused(
             decision.confidence >= ropts.fusionMinConfidence) {
             adopt_fused();
             obs::count("level1.fusion_adoptions");
+            obs::flightRecord(obs::FlightEventKind::Verdict, "classify",
+                              "fused", decision.confidence);
             sp.arg("verdict", "fused");
             sp.arg("confidence", decision.confidence);
             return result;
@@ -562,6 +573,8 @@ Decepticon::identifyFused(
             result.quorumAgreement = knn_share;
             obs::gaugeSet("level1.quorum_agreement",
                           result.quorumAgreement);
+            obs::flightRecord(obs::FlightEventKind::Verdict, "classify",
+                              "knn", knn_share);
             sp.arg("verdict", "knn");
             return result;
         }
@@ -583,6 +596,8 @@ Decepticon::identifyFused(
         }
         if (best_ler < ropts.seqLerRejectThreshold) {
             result.pretrainedName = classNames_[best];
+            obs::flightRecord(obs::FlightEventKind::Verdict, "classify",
+                              "seq", best_ler);
             sp.arg("verdict", "seq");
             return result;
         }
@@ -597,6 +612,8 @@ Decepticon::identifyFused(
         // evidence — adopt it at its honest low confidence.
         adopt_fused();
         obs::count("level1.fusion_best_effort");
+        obs::flightRecord(obs::FlightEventKind::Verdict, "classify",
+                          "fused_best_effort", decision.confidence);
         sp.arg("verdict", "fused_best_effort");
         sp.arg("confidence", decision.confidence);
         return result;
@@ -606,6 +623,9 @@ Decepticon::identifyFused(
     result.pretrainedName.clear();
     result.topProbability = 0.0;
     obs::count("level1.insufficient_evidence");
+    obs::flightRecord(obs::FlightEventKind::Verdict, "classify",
+                      "insufficient");
+    obs::flightNoteError();
     sp.arg("verdict", "insufficient");
     return result;
 }

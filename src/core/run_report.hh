@@ -21,6 +21,7 @@
 #include "core/decepticon.hh"
 #include "extraction/bitprobe.hh"
 #include "extraction/selective.hh"
+#include "obs/watchdog.hh"
 
 namespace decepticon::core {
 
@@ -72,6 +73,9 @@ struct AttackRunReport
 
     /** Per-phase wall clock, pipeline order. */
     std::vector<PhaseTiming> phases;
+
+    /** SLO verdict accumulated over the run (empty = never ticked). */
+    obs::WatchdogReport watchdog;
 
     /** Fold the level-1 outcome in. */
     void recordIdentification(const IdentificationResult &ident);

@@ -51,10 +51,23 @@ TwoLevelAttack::execute(
 
     auto attack_span = obs::span("attack.execute", "attack");
     auto phase_start = obs::clock().nowMicros();
+    // One watchdog tick per phase boundary: the baseline tick here,
+    // then one after each end_phase, so every phase's counter deltas
+    // are judged against the SLO bands exactly once.
+    obs::Watchdog watchdog;
+    if (obs::metricsEnabled())
+        watchdog.tick(obs::metrics());
     const auto end_phase = [&](const char *name) {
         const std::uint64_t now = obs::clock().nowMicros();
         report.run.recordPhase(name, now - phase_start);
         phase_start = now;
+        if (obs::metricsEnabled()) {
+            obs::metrics().observeLatency(
+                std::string("phase.") + name + ".micros",
+                static_cast<double>(
+                    report.run.phases.back().micros));
+            watchdog.tick(obs::metrics());
+        }
     };
 
     // ------------------------------------------------------------------
@@ -70,6 +83,7 @@ TwoLevelAttack::execute(
     const auto it = weightsByName_.find(
         report.identification.pretrainedName);
     if (it == weightsByName_.end()) {
+        report.run.watchdog = watchdog.report();
         if (obs::metricsEnabled())
             report.run.toMetrics(obs::metrics());
         return report; // identified something outside the pool
@@ -126,6 +140,7 @@ TwoLevelAttack::execute(
     report.run.cloneVictimAgreement = report.cloneVictimAgreement;
     report.run.adversarialSuccess = report.adversarial.successRate();
     report.run.complete = true;
+    report.run.watchdog = watchdog.report();
     attack_span.arg("parent", report.identification.pretrainedName);
     attack_span.arg("agreement", report.cloneVictimAgreement);
     if (obs::metricsEnabled())

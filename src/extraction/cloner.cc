@@ -71,6 +71,7 @@ ModelCloner::extract(transformer::TransformerClassifier &victim,
     using transformer::Trainer;
 
     auto clone_span = obs::span("level2.clone", "level2");
+    obs::StageTimer stage_timer("extract");
 
     CloneResult result;
 

@@ -52,6 +52,7 @@ ProbeAttempt
 RetryingProber::tryReadBit(std::size_t layer, std::size_t index,
                            int word_bit)
 {
+    obs::StageTimer stage_timer("probe");
     const int majority = opts_.votes / 2 + 1;
     int ones = 0;
     int zeros = 0;
@@ -86,6 +87,10 @@ RetryingProber::tryReadBit(std::size_t layer, std::size_t index,
     reliability_.physicalReads += static_cast<std::size_t>(attempts);
     obs::count("resilient.vote_rounds",
                static_cast<std::size_t>(attempts));
+    if (attempts > majority)
+        obs::flightRecord(obs::FlightEventKind::Retry, "probe",
+                          "vote_rounds",
+                          static_cast<double>(attempts - majority));
     const int successes = ones + zeros;
     if (successes > 1)
         reliability_.voteReads +=

@@ -6,6 +6,7 @@
 
 #include "extraction/ieee.hh"
 #include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "sched/sched.hh"
 
 namespace decepticon::extraction {
@@ -285,6 +286,7 @@ SelectiveWeightExtractor::extractLayer(const std::vector<float> &base,
                                        std::size_t layer,
                                        ExtractionStats &stats) const
 {
+    obs::StageTimer stage_timer("extract");
     const std::size_t n = base.size();
 
     // Plan: pure per-weight classification, parallel.

@@ -63,9 +63,12 @@ ChannelFaultModel::corruptSeries(const std::vector<double> &series,
                                  std::uint64_t capture_seed)
 {
     ++counters_.captures;
+    obs::count("fault.channel.capture_attempts");
     if (spec_.jammed) {
         ++counters_.jammedCaptures;
         obs::count("fault.channel.jammed_captures");
+        obs::flightRecord(obs::FlightEventKind::Fault, "trace_capture",
+                          channelName(channel_), 1.0);
         return {};
     }
     std::vector<double> out = series;

@@ -157,6 +157,9 @@ FaultInjector::corruptTrace(const gpusim::KernelTrace &trace,
 {
     gpusim::KernelTrace out;
     out.kernelNames = trace.kernelNames;
+    // Attempts are counted before the healthy early-out so the
+    // watchdog's corrupted/attempts band sees honest denominators.
+    obs::count("fault.capture_attempts");
     if (trace.records.empty() || !spec_.traceFaultsEnabled()) {
         out.records = trace.records;
         return out;
@@ -207,6 +210,9 @@ FaultInjector::corruptTrace(const gpusim::KernelTrace &trace,
         out.records.push_back(trace.records.front());
 
     obs::count("fault.captures_corrupted");
+    obs::flightRecord(
+        obs::FlightEventKind::Fault, "trace_capture", "trace_corrupted",
+        static_cast<double>(counters_.recordsDropped - dropped_before));
     obs::count("fault.records_dropped",
                counters_.recordsDropped - dropped_before);
     obs::count("fault.records_duplicated",

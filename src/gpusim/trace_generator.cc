@@ -230,6 +230,7 @@ TraceGenerator::generateDefended(const ArchParams &arch,
     assert(arch.prunedHeads < arch.numHeads);
 
     auto sp = obs::span("gpusim.generate", "gpusim");
+    obs::StageTimer stage_timer("trace_capture");
     sp.arg("layers", static_cast<std::uint64_t>(arch.numLayers));
     sp.arg("hidden", static_cast<std::uint64_t>(arch.hidden));
 

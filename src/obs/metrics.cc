@@ -30,6 +30,13 @@ MetricsRegistry::observe(const std::string &name, double value, double lo,
     it->second.add(value);
 }
 
+void
+MetricsRegistry::observeLatency(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    latencies_[name].add(value);
+}
+
 std::uint64_t
 MetricsRegistry::counter(const std::string &name) const
 {
@@ -70,6 +77,37 @@ MetricsRegistry::histogram(const std::string &name) const
     return it->second;
 }
 
+std::optional<LogHistogram>
+MetricsRegistry::latency(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = latencies_.find(name);
+    if (it == latencies_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::map<std::string, std::uint64_t>
+MetricsRegistry::counterSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+std::map<std::string, double>
+MetricsRegistry::gaugeSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_;
+}
+
+std::map<std::string, LogHistogram>
+MetricsRegistry::latencySnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return latencies_;
+}
+
 void
 MetricsRegistry::reset()
 {
@@ -77,6 +115,7 @@ MetricsRegistry::reset()
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
+    latencies_.clear();
 }
 
 std::string
@@ -133,7 +172,30 @@ writeHistogram(std::ostream &out, const util::Histogram &h)
         << ",\"counts\":[";
     for (std::size_t i = 0; i < h.counts.size(); ++i)
         out << (i ? "," : "") << h.counts[i];
-    out << "],\"total\":" << h.total();
+    out << "],\"total\":" << h.total() << ",\"underflow\":" << h.underflow
+        << ",\"overflow\":" << h.overflow;
+}
+
+void
+writeLatency(std::ostream &out, const LogHistogram &h)
+{
+    out << "\"p50\":" << jsonNumber(h.quantile(0.50))
+        << ",\"p90\":" << jsonNumber(h.quantile(0.90))
+        << ",\"p99\":" << jsonNumber(h.quantile(0.99))
+        << ",\"mean\":" << jsonNumber(h.mean())
+        << ",\"count\":" << h.total()
+        << ",\"underflow\":" << h.underflow()
+        << ",\"overflow\":" << h.overflow()
+        << ",\"sum\":" << jsonNumber(h.sum()) << ",\"counts\":[";
+    // Trailing empty buckets are elided; fromCounts zero-pads them back.
+    const auto &counts = h.counts();
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        if (counts[i] != 0)
+            last = i + 1;
+    for (std::size_t i = 0; i < last; ++i)
+        out << (i ? "," : "") << counts[i];
+    out << "]";
 }
 
 } // anonymous namespace
@@ -152,6 +214,11 @@ MetricsRegistry::exportJsonl(std::ostream &out) const
         out << "{\"type\":\"histogram\",\"name\":" << jsonQuote(name)
             << ",";
         writeHistogram(out, h);
+        out << "}\n";
+    }
+    for (const auto &[name, h] : latencies_) {
+        out << "{\"type\":\"latency\",\"name\":" << jsonQuote(name) << ",";
+        writeLatency(out, h);
         out << "}\n";
     }
 }
@@ -181,7 +248,19 @@ MetricsRegistry::exportJson(std::ostream &out) const
         out << "}";
         first = false;
     }
-    out << "}}\n";
+    out << "}";
+    if (!latencies_.empty()) {
+        out << ",\"latencies\":{";
+        first = true;
+        for (const auto &[name, h] : latencies_) {
+            out << (first ? "" : ",") << jsonQuote(name) << ":{";
+            writeLatency(out, h);
+            out << "}";
+            first = false;
+        }
+        out << "}";
+    }
+    out << "}\n";
 }
 
 } // namespace decepticon::obs

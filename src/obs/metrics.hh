@@ -19,6 +19,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/quantile.hh"
 #include "util/stats.hh"
 
 namespace decepticon::obs {
@@ -41,6 +42,15 @@ class MetricsRegistry
     void observe(const std::string &name, double value, double lo = 0.0,
                  double hi = 1.0, std::size_t bins = 16);
 
+    /**
+     * Record one sample into a named log-bucketed latency histogram
+     * (LogHistogram: fixed geometry, so every registry agrees on
+     * bucket boundaries and snapshots can be diffed/merged). Use for
+     * anything spanning orders of magnitude — stage latencies in
+     * microseconds, queue depths, retry counts.
+     */
+    void observeLatency(const std::string &name, double value);
+
     /** Current counter value (0 if absent). */
     std::uint64_t counter(const std::string &name) const;
 
@@ -53,6 +63,18 @@ class MetricsRegistry
     /** Copy of a histogram (nullopt if absent). */
     std::optional<util::Histogram> histogram(const std::string &name) const;
 
+    /** Copy of a latency histogram (nullopt if absent). */
+    std::optional<LogHistogram> latency(const std::string &name) const;
+
+    /** Consistent copy of all counters (watchdog/rollup input). */
+    std::map<std::string, std::uint64_t> counterSnapshot() const;
+
+    /** Consistent copy of all gauges. */
+    std::map<std::string, double> gaugeSnapshot() const;
+
+    /** Consistent copy of all latency histograms (delta rollups). */
+    std::map<std::string, LogHistogram> latencySnapshot() const;
+
     /** Drop every metric. */
     void reset();
 
@@ -61,14 +83,20 @@ class MetricsRegistry
      *   {"type":"counter","name":"...","value":N}
      *   {"type":"gauge","name":"...","value":X}
      *   {"type":"histogram","name":"...","lo":..,"hi":..,
-     *    "counts":[..],"total":N}
+     *    "counts":[..],"total":N,"underflow":N,"overflow":N}
+     *   {"type":"latency","name":"...","p50":..,"p90":..,"p99":..,
+     *    "mean":..,"count":N,"underflow":N,"overflow":N,"sum":..,
+     *    "counts":[..]}
      */
     void exportJsonl(std::ostream &out) const;
 
     /**
      * Single JSON object:
-     *   {"counters":{...},"gauges":{...},"histograms":{...}}
+     *   {"counters":{...},"gauges":{...},"histograms":{...},
+     *    "latencies":{...}}
      * The shape BENCH_*.json snapshots use so follow-up PRs can diff.
+     * The "latencies" section is omitted when empty so pre-obs-v2
+     * snapshots and new ones stay byte-comparable.
      */
     void exportJson(std::ostream &out) const;
 
@@ -77,6 +105,7 @@ class MetricsRegistry
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, util::Histogram> histograms_;
+    std::map<std::string, LogHistogram> latencies_;
 };
 
 /** JSON string literal (quotes + escapes) for exporters. */

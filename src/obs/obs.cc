@@ -11,6 +11,7 @@ namespace {
 
 std::atomic<bool> g_metricsEnabled{false};
 std::atomic<bool> g_traceEnabled{false};
+std::atomic<int> g_flightMode{static_cast<int>(FlightMode::Off)};
 
 std::mutex g_configMu;
 ObsConfig g_config;
@@ -43,6 +44,13 @@ tracerSingleton()
     static IndirectClock indirect;
     static Tracer tracer(indirect);
     return tracer;
+}
+
+FlightRecorder &
+flightRecorderSingleton()
+{
+    static FlightRecorder recorder;
+    return recorder;
 }
 
 } // anonymous namespace
@@ -79,12 +87,30 @@ parseObsSpec(const std::string &spec)
 }
 
 void
+parseFlightSpec(const std::string &spec, ObsConfig &config)
+{
+    const std::size_t colon = spec.find(':');
+    const std::string mode = spec.substr(0, colon);
+    const std::string path =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    if (mode == "on" || mode == "1")
+        config.flightMode = FlightMode::On;
+    else if (mode == "on_error")
+        config.flightMode = FlightMode::OnError;
+    else
+        config.flightMode = FlightMode::Off;
+    config.flightPath =
+        config.flightMode == FlightMode::Off ? "" : path;
+}
+
+void
 configure(const ObsConfig &config)
 {
     // Touch the singletons before registering the atexit flush so the
     // flush runs before their destructors (LIFO teardown order).
     registrySingleton();
     tracerSingleton();
+    flightRecorderSingleton();
     {
         std::lock_guard<std::mutex> lock(g_configMu);
         g_config = config;
@@ -92,9 +118,12 @@ configure(const ObsConfig &config)
     g_metricsEnabled.store(config.metricsEnabled,
                            std::memory_order_relaxed);
     g_traceEnabled.store(config.traceEnabled, std::memory_order_relaxed);
+    g_flightMode.store(static_cast<int>(config.flightMode),
+                       std::memory_order_relaxed);
     static bool flush_registered = false;
     if (!flush_registered &&
-        (!config.metricsPath.empty() || !config.tracePath.empty())) {
+        (!config.metricsPath.empty() || !config.tracePath.empty() ||
+         !config.flightPath.empty())) {
         flush_registered = true;
         std::atexit(flush);
     }
@@ -103,9 +132,20 @@ configure(const ObsConfig &config)
 void
 initFromEnv()
 {
+    ObsConfig config;
+    bool any = false;
     const char *spec = std::getenv("DECEPTICON_OBS");
-    if (spec != nullptr && *spec != '\0')
-        configure(parseObsSpec(spec));
+    if (spec != nullptr && *spec != '\0') {
+        config = parseObsSpec(spec);
+        any = true;
+    }
+    const char *flight = std::getenv("DECEPTICON_OBS_FLIGHT");
+    if (flight != nullptr && *flight != '\0') {
+        parseFlightSpec(flight, config);
+        any = any || config.flightMode != FlightMode::Off;
+    }
+    if (any)
+        configure(config);
 }
 
 void
@@ -126,6 +166,17 @@ flush()
         if (out)
             tracerSingleton().exportChromeTrace(out);
     }
+    if (config.flightMode != FlightMode::Off &&
+        !config.flightPath.empty()) {
+        const bool dump =
+            config.flightMode == FlightMode::On ||
+            flightRecorderSingleton().errorNoted();
+        if (dump) {
+            std::ofstream out(config.flightPath);
+            if (out)
+                flightRecorderSingleton().dumpJsonl(out);
+        }
+    }
 }
 
 void
@@ -137,8 +188,11 @@ shutdown()
     }
     g_metricsEnabled.store(false, std::memory_order_relaxed);
     g_traceEnabled.store(false, std::memory_order_relaxed);
+    g_flightMode.store(static_cast<int>(FlightMode::Off),
+                       std::memory_order_relaxed);
     registrySingleton().reset();
     tracerSingleton().clear();
+    flightRecorderSingleton().clear();
 }
 
 bool
@@ -151,6 +205,13 @@ bool
 traceEnabled()
 {
     return g_traceEnabled.load(std::memory_order_relaxed);
+}
+
+FlightMode
+flightMode()
+{
+    return static_cast<FlightMode>(
+        g_flightMode.load(std::memory_order_relaxed));
 }
 
 MetricsRegistry &
@@ -199,6 +260,68 @@ observe(const char *name, double value, double lo, double hi,
 {
     if (metricsEnabled())
         registrySingleton().observe(name, value, lo, hi, bins);
+}
+
+void
+observeLatency(const char *name, double value)
+{
+    if (metricsEnabled())
+        registrySingleton().observeLatency(name, value);
+}
+
+FlightRecorder &
+flightRecorder()
+{
+    return flightRecorderSingleton();
+}
+
+void
+flightRecord(FlightEventKind kind, const char *stage, const char *detail,
+             double value)
+{
+    if (!flightEnabled())
+        return;
+    FlightEvent event;
+    event.kind = kind;
+    event.stage = stage;
+    event.detail = detail;
+    event.value = value;
+    event.ts = clock().nowMicros();
+    flightRecorderSingleton().record(std::move(event));
+}
+
+void
+flightNoteError()
+{
+    if (flightEnabled())
+        flightRecorderSingleton().noteError();
+}
+
+StageTimer::StageTimer(const char *stage) : stage_(stage)
+{
+    if (!metricsEnabled() && !flightEnabled())
+        return;
+    active_ = true;
+    t0_ = clock().nowMicros();
+    if (metricsEnabled())
+        registrySingleton().add(std::string("stage.") + stage_ +
+                                ".enter");
+    flightRecord(FlightEventKind::StageEnter, stage_);
+}
+
+StageTimer::~StageTimer()
+{
+    if (!active_)
+        return;
+    const std::uint64_t now = clock().nowMicros();
+    const double micros = static_cast<double>(now - t0_);
+    if (metricsEnabled()) {
+        registrySingleton().add(std::string("stage.") + stage_ +
+                                ".exit");
+        registrySingleton().observeLatency(
+            std::string("stage.") + stage_ + ".micros", micros);
+    }
+    flightRecord(FlightEventKind::StageExit, stage_, "", micros);
 }
 
 } // namespace decepticon::obs

@@ -13,6 +13,16 @@
  * file at exit, "metrics:<path>" a JSONL metrics dump. Bare "trace" /
  * "metrics" (or "on" for both) enable in-memory collection without a
  * file sink, which is what tests use.
+ *
+ * The flight recorder has its own knob (same near-zero-cost no-op
+ * path when off — one relaxed atomic load per call site):
+ *
+ *   DECEPTICON_OBS_FLIGHT=off | on[:<path>] | on_error[:<path>]
+ *
+ * "on" records always and dumps the canonical JSONL stream to <path>
+ * at flush; "on_error" records always but dumps only when the run
+ * noted an error (insufficient-evidence abstain, extraction failure),
+ * which is the always-on triage mode for campaigns.
  */
 
 #ifndef DECEPTICON_OBS_OBS_HH
@@ -22,10 +32,21 @@
 #include <string>
 
 #include "obs/clock.hh"
+#include "obs/flight.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
 
 namespace decepticon::obs {
+
+/** Flight-recorder operating mode. */
+enum class FlightMode : int
+{
+    Off = 0,
+    /** Record; dump at flush when a path is configured. */
+    On = 1,
+    /** Record; dump at flush only if flightNoteError() was called. */
+    OnError = 2,
+};
 
 /** Telemetry sink selection. */
 struct ObsConfig
@@ -36,6 +57,9 @@ struct ObsConfig
     std::string metricsPath;
     /** Chrome trace-event path; empty = in-memory only. */
     std::string tracePath;
+    FlightMode flightMode = FlightMode::Off;
+    /** Flight JSONL dump path; empty = in-memory only. */
+    std::string flightPath;
 };
 
 /**
@@ -43,6 +67,13 @@ struct ObsConfig
  * "metrics", "on", "off"/""). Unknown sink names are ignored.
  */
 ObsConfig parseObsSpec(const std::string &spec);
+
+/**
+ * Parse a DECEPTICON_OBS_FLIGHT spec ("off", "on", "on:/p",
+ * "on_error", "on_error:/p") into the flight fields of a config.
+ * Unknown modes read as Off.
+ */
+void parseFlightSpec(const std::string &spec, ObsConfig &config);
 
 /** Apply a configuration (also registers the exit-time flush once). */
 void configure(const ObsConfig &config);
@@ -58,6 +89,16 @@ void shutdown();
 
 bool metricsEnabled();
 bool traceEnabled();
+
+/** Current flight mode (relaxed atomic load — the fast-path gate). */
+FlightMode flightMode();
+
+/** True when any flight recording is active. */
+inline bool
+flightEnabled()
+{
+    return flightMode() != FlightMode::Off;
+}
 
 /** The process-wide registry (always exists; cold when disabled). */
 MetricsRegistry &metrics();
@@ -90,6 +131,44 @@ void gaugeSet(const char *name, double value);
 /** Histogram sample; no-op when metrics are off. */
 void observe(const char *name, double value, double lo = 0.0,
              double hi = 1.0, std::size_t bins = 16);
+
+/** Log-bucketed latency sample; no-op when metrics are off. */
+void observeLatency(const char *name, double value);
+
+/** The process-wide flight recorder (always exists; cold when off). */
+FlightRecorder &flightRecorder();
+
+/** Record a flight event; no-op when the recorder is off. The
+ *  timestamp is stamped from obs::clock() here. */
+void flightRecord(FlightEventKind kind, const char *stage,
+                  const char *detail = "", double value = 0.0);
+
+/** Mark the run errored so on_error mode dumps at flush; no-op when
+ *  the recorder is off. */
+void flightNoteError();
+
+/**
+ * RAII pipeline-stage scope. On entry bumps stage.<s>.enter and
+ * records a StageEnter flight event; on exit bumps stage.<s>.exit,
+ * feeds stage.<s>.micros into the latency histogram, and records a
+ * StageExit event carrying the duration. The enter/exit counter pair
+ * is what the Watchdog's stall detector watches. Near-free when both
+ * metrics and flight recording are off.
+ */
+class StageTimer
+{
+  public:
+    explicit StageTimer(const char *stage);
+    ~StageTimer();
+
+    StageTimer(const StageTimer &) = delete;
+    StageTimer &operator=(const StageTimer &) = delete;
+
+  private:
+    const char *stage_;
+    std::uint64_t t0_ = 0;
+    bool active_ = false;
+};
 
 } // namespace decepticon::obs
 

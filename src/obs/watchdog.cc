@@ -1,0 +1,186 @@
+#include "obs/watchdog.hh"
+
+#include <sstream>
+
+namespace decepticon::obs {
+
+namespace {
+
+constexpr const char *kStagePrefix = "stage.";
+constexpr const char *kEnterSuffix = ".enter";
+constexpr const char *kExitSuffix = ".exit";
+
+std::uint64_t
+lookup(const std::map<std::string, std::uint64_t> &counters,
+       const std::string &name)
+{
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void
+writeFinding(std::ostream &out, const WatchdogFinding &f)
+{
+    out << "{\"kind\":" << jsonQuote(f.kind)
+        << ",\"subject\":" << jsonQuote(f.subject)
+        << ",\"value\":" << jsonNumber(f.value)
+        << ",\"threshold\":" << jsonNumber(f.threshold)
+        << ",\"message\":" << jsonQuote(f.message) << "}";
+}
+
+} // anonymous namespace
+
+void
+WatchdogReport::toJson(std::ostream &out) const
+{
+    out << "{\"ticks\":" << ticks
+        << ",\"healthy\":" << (healthy() ? "true" : "false")
+        << ",\"findings\":[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        if (i)
+            out << ",";
+        writeFinding(out, findings[i]);
+    }
+    out << "]}";
+}
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config)
+{
+    addFaultBand("fault.captures_corrupted", "fault.capture_attempts",
+                 "trace_capture");
+    addFaultBand("fault.channel.jammed_captures",
+                 "fault.channel.capture_attempts", "channels");
+}
+
+void
+Watchdog::addFaultBand(const std::string &corruptedCounter,
+                       const std::string &attemptsCounter,
+                       const std::string &subject)
+{
+    bands_.push_back(FaultBand{corruptedCounter, attemptsCounter, subject,
+                               /*flagged=*/false});
+}
+
+std::vector<WatchdogFinding>
+Watchdog::tick(MetricsRegistry &registry)
+{
+    const std::map<std::string, std::uint64_t> now =
+        registry.counterSnapshot();
+    std::vector<WatchdogFinding> fresh;
+
+    if (havePrev_) {
+        // ---- stalls: open spans with a frozen exit counter -------
+        for (const auto &[name, enter] : now) {
+            if (name.compare(0, 6, kStagePrefix) != 0 ||
+                !endsWith(name, kEnterSuffix))
+                continue;
+            const std::string stage =
+                name.substr(6, name.size() - 6 - 6); // strip pre/suffix
+            const std::string exit_name =
+                std::string(kStagePrefix) + stage + kExitSuffix;
+            const std::uint64_t exit_now = lookup(now, exit_name);
+            const std::uint64_t exit_prev = lookup(prev_, exit_name);
+            StageState &st = stages_[stage];
+            const bool open = enter > exit_now;
+            const bool progressed = exit_now > exit_prev;
+            if (open && !progressed) {
+                ++st.stalledTicks;
+                if (st.stalledTicks >= config_.stallTicks && !st.flagged) {
+                    st.flagged = true;
+                    std::ostringstream msg;
+                    msg << "stage '" << stage << "' has "
+                        << (enter - exit_now)
+                        << " open span(s) and no exit progress for "
+                        << st.stalledTicks << " tick(s)";
+                    fresh.push_back(WatchdogFinding{
+                        "stall", stage,
+                        static_cast<double>(st.stalledTicks),
+                        static_cast<double>(config_.stallTicks),
+                        msg.str()});
+                    registry.add("obs.watchdog.stalls");
+                }
+            } else {
+                st.stalledTicks = 0;
+                st.flagged = false; // recovered; re-arm
+            }
+        }
+
+        // ---- fault spikes: corrupted/attempts delta rate ---------
+        for (FaultBand &band : bands_) {
+            const std::uint64_t att =
+                lookup(now, band.attempts) - lookup(prev_, band.attempts);
+            const std::uint64_t bad = lookup(now, band.corrupted) -
+                                      lookup(prev_, band.corrupted);
+            if (att < config_.minSamples) {
+                band.flagged = false;
+                continue;
+            }
+            const double rate =
+                static_cast<double>(bad) / static_cast<double>(att);
+            if (rate > config_.faultRateMax) {
+                if (!band.flagged) {
+                    band.flagged = true;
+                    std::ostringstream msg;
+                    msg << band.subject << " fault rate " << rate
+                        << " over " << att
+                        << " attempt(s) exceeds band "
+                        << config_.faultRateMax;
+                    fresh.push_back(WatchdogFinding{
+                        "fault_spike", band.subject, rate,
+                        config_.faultRateMax, msg.str()});
+                    registry.add("obs.watchdog.fault_spikes");
+                }
+            } else {
+                band.flagged = false;
+            }
+        }
+
+        // ---- abstain anomalies: insufficient-evidence rate -------
+        {
+            const std::uint64_t ids =
+                lookup(now, "level1.identifies") -
+                lookup(prev_, "level1.identifies");
+            const std::uint64_t abst =
+                lookup(now, "level1.insufficient_evidence") -
+                lookup(prev_, "level1.insufficient_evidence");
+            if (ids >= config_.minSamples) {
+                const double rate =
+                    static_cast<double>(abst) / static_cast<double>(ids);
+                if (rate > config_.abstainRateMax) {
+                    if (!abstainFlagged_) {
+                        abstainFlagged_ = true;
+                        std::ostringstream msg;
+                        msg << "fusion abstained on " << abst << " of "
+                            << ids << " identification(s) (rate " << rate
+                            << " > " << config_.abstainRateMax << ")";
+                        fresh.push_back(WatchdogFinding{
+                            "abstain_anomaly", "level1.fusion", rate,
+                            config_.abstainRateMax, msg.str()});
+                        registry.add("obs.watchdog.abstain_anomalies");
+                    }
+                } else {
+                    abstainFlagged_ = false;
+                }
+            }
+        }
+    }
+
+    prev_ = now;
+    havePrev_ = true;
+    ++report_.ticks;
+    registry.add("obs.watchdog.ticks");
+    if (!fresh.empty())
+        registry.add("obs.watchdog.findings", fresh.size());
+    report_.findings.insert(report_.findings.end(), fresh.begin(),
+                            fresh.end());
+    return fresh;
+}
+
+} // namespace decepticon::obs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Pipeline watchdog — the SLO half of obs v2. A Watchdog is ticked
+ * periodically (phase boundaries in a single run, a timer thread in a
+ * campaign); each tick snapshots the registry's counters and compares
+ * them with the previous snapshot:
+ *
+ *  - **stall**: a stage with open spans (stage.<s>.enter >
+ *    stage.<s>.exit) whose exit counter has made no progress for
+ *    `stallTicks` consecutive ticks;
+ *  - **fault_spike**: a corrupted/attempts counter-pair delta rate
+ *    above `faultRateMax`;
+ *  - **abstain_anomaly**: the fusion insufficient-evidence rate over
+ *    identification attempts above `abstainRateMax`.
+ *
+ * Each finding is flagged once at the threshold crossing (re-flagged
+ * only after recovery), published as obs.watchdog.* counters on the
+ * watched registry, and accumulated into a WatchdogReport that
+ * core::AttackRunReport embeds. A healthy run yields zero findings.
+ */
+
+#ifndef DECEPTICON_OBS_WATCHDOG_HH
+#define DECEPTICON_OBS_WATCHDOG_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace decepticon::obs {
+
+/** SLO bands. Defaults are deliberately loose: the watchdog exists to
+ *  catch pathology, not to grade ordinary jitter. */
+struct WatchdogConfig
+{
+    /** Consecutive no-progress ticks (with open spans) = stall. */
+    int stallTicks = 2;
+    /** Max corrupted/attempts delta rate before a fault spike. */
+    double faultRateMax = 0.75;
+    /** Max insufficient-evidence/identify delta rate before an
+     *  abstain anomaly. */
+    double abstainRateMax = 0.5;
+    /** Minimum attempts in a delta window before rates are judged
+     *  (avoids 1-of-1 spikes). */
+    std::uint64_t minSamples = 4;
+};
+
+/** One SLO violation. */
+struct WatchdogFinding
+{
+    /** "stall" | "fault_spike" | "abstain_anomaly". */
+    std::string kind;
+    /** Stage or counter-pair the finding is about. */
+    std::string subject;
+    /** Observed value (stalled ticks or rate). */
+    double value = 0.0;
+    /** The configured band it crossed. */
+    double threshold = 0.0;
+    /** Human-readable one-liner. */
+    std::string message;
+};
+
+/** Accumulated verdict over a run; embedded in AttackRunReport. */
+struct WatchdogReport
+{
+    std::uint64_t ticks = 0;
+    std::vector<WatchdogFinding> findings;
+
+    bool healthy() const { return findings.empty(); }
+
+    /** {"ticks":N,"healthy":b,"findings":[{...},...]} */
+    void toJson(std::ostream &out) const;
+};
+
+/** Snapshot-diffing SLO monitor. Not thread-safe: tick from one
+ *  place (the registry it reads *is* thread-safe). */
+class Watchdog
+{
+  public:
+    explicit Watchdog(WatchdogConfig config = {});
+
+    /** Watch an extra corrupted/attempts counter pair. */
+    void addFaultBand(const std::string &corruptedCounter,
+                      const std::string &attemptsCounter,
+                      const std::string &subject);
+
+    /**
+     * Snapshot `registry`, diff against the previous tick, flag
+     * violations. Publishes obs.watchdog.{ticks,stalls,fault_spikes,
+     * abstain_anomalies,findings} counters back onto `registry`.
+     * Returns findings new in THIS tick.
+     */
+    std::vector<WatchdogFinding> tick(MetricsRegistry &registry);
+
+    const WatchdogConfig &config() const { return config_; }
+    const WatchdogReport &report() const { return report_; }
+
+  private:
+    struct FaultBand
+    {
+        std::string corrupted;
+        std::string attempts;
+        std::string subject;
+        bool flagged = false;
+    };
+
+    struct StageState
+    {
+        int stalledTicks = 0;
+        bool flagged = false;
+    };
+
+    WatchdogConfig config_;
+    WatchdogReport report_;
+    std::vector<FaultBand> bands_;
+    std::map<std::string, StageState> stages_;
+    std::map<std::string, std::uint64_t> prev_;
+    bool havePrev_ = false;
+    bool abstainFlagged_ = false;
+};
+
+} // namespace decepticon::obs
+
+#endif // DECEPTICON_OBS_WATCHDOG_HH

@@ -77,6 +77,9 @@ ThreadPool::submit(Task task)
     const std::size_t depth =
         pending_.fetch_add(1, std::memory_order_release) + 1;
     obs::gaugeSet("sched.queue_depth", static_cast<double>(depth));
+    // Distribution, not just last value: the p99 of queue depth is
+    // what tells a campaign its pool is undersized.
+    obs::observeLatency("sched.queue_depth", static_cast<double>(depth));
     wake_.notify_one();
 }
 

@@ -54,6 +54,7 @@ FusionDecision
 FusionEngine::fuse(const std::vector<ChannelEvidence> &evidence) const
 {
     auto sp = obs::span("sidechan.fuse", "sidechan");
+    obs::StageTimer stage_timer("fuse");
     FusionDecision decision;
 
     // Maximum possible evidence mass: every registered channel at
@@ -85,6 +86,8 @@ FusionEngine::fuse(const std::vector<ChannelEvidence> &evidence) const
     if (decision.channelsAvailable == 0 || mass <= 0.0) {
         decision.verdict = FusionVerdict::InsufficientEvidence;
         obs::count("sidechan.fusion_insufficient");
+        obs::flightRecord(obs::FlightEventKind::Verdict, "fuse",
+                          "insufficient_evidence");
         return decision;
     }
 
@@ -116,6 +119,8 @@ FusionEngine::fuse(const std::vector<ChannelEvidence> &evidence) const
     decision.confidence = *top * std::sqrt(decision.coverage);
     decision.verdict = FusionVerdict::Identified;
     obs::count("sidechan.fusion_decisions");
+    obs::flightRecord(obs::FlightEventKind::Verdict, "fuse", "identified",
+                      decision.confidence);
     obs::gaugeSet("sidechan.fusion_confidence", decision.confidence);
     obs::gaugeSet("sidechan.fusion_coverage", decision.coverage);
     return decision;

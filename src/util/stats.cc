@@ -84,6 +84,10 @@ Histogram::Histogram(double low, double high, std::size_t bins)
 void
 Histogram::add(double x)
 {
+    if (x < lo)
+        ++underflow;
+    else if (x > hi)
+        ++overflow;
     const double t = (x - lo) / (hi - lo);
     auto idx = static_cast<long>(t * static_cast<double>(counts.size()));
     idx = std::clamp<long>(idx, 0, static_cast<long>(counts.size()) - 1);

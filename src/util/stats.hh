@@ -37,13 +37,19 @@ double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
 
 /**
  * Fixed-width histogram over [lo, hi]; values outside the range are
- * clamped into the first/last bin.
+ * clamped into the first/last bin, but every clamp is also tallied in
+ * the underflow/overflow ledgers so a clipped distribution is visible
+ * in exports rather than silently folded into the edge bins.
  */
 struct Histogram
 {
     double lo = 0.0;
     double hi = 1.0;
     std::vector<std::size_t> counts;
+    /** Samples below lo (clamped into bin 0). */
+    std::size_t underflow = 0;
+    /** Samples above hi (clamped into the last bin). */
+    std::size_t overflow = 0;
 
     /** Build a histogram with the given bin count. @pre bins > 0, hi > lo */
     Histogram(double lo, double hi, std::size_t bins);

@@ -8,6 +8,7 @@
  */
 
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,9 @@
 #include "core/decepticon.hh"
 #include "core/two_level.hh"
 #include "extraction/bitprobe.hh"
+#include "extraction/resilient.hh"
 #include "extraction/selective.hh"
+#include "obs/flight.hh"
 #include "fingerprint/dataset.hh"
 #include "gpusim/trace_generator.hh"
 #include "obs/clock.hh"
@@ -179,6 +182,68 @@ TEST(Determinism, SelectiveExtractionBitIdentical)
         EXPECT_TRUE(sameStats(stats, reference_stats))
             << "stats differ at " << threads << " threads";
     }
+}
+
+TEST(Determinism, FlightDumpBitIdenticalAcrossLanes)
+{
+    PoolGuard guard;
+
+    // Timestamps are part of the canonical sort key; pin them so the
+    // only remaining degrees of freedom are scheduling-induced — the
+    // exact thing the canonical dump must erase.
+    obs::FakeClock clock(5000);
+    obs::setClockForTest(&clock);
+
+    dg::ArchParams arch;
+    arch.numLayers = 2;
+    arch.hidden = 64;
+    const dz::WeightStore pre =
+        dz::WeightStore::makePretrained(arch, 7, 800);
+    dz::FineTuneOptions ft_opts;
+    const dz::WeightStore victim =
+        dz::FineTuneSimulator::fineTune(pre, ft_opts, 8);
+
+    auto run = [&](std::size_t threads) {
+        sched::setThreads(threads);
+        obs::ObsConfig cfg;
+        cfg.flightMode = obs::FlightMode::On;
+        obs::configure(cfg);
+
+        // Events recorded from pool workers land in per-thread rings;
+        // the canonical dump must reassemble one fixed stream.
+        sched::parallelFor(96, 1, [&](std::size_t i) {
+            obs::flightRecord(obs::FlightEventKind::Retry, "probe",
+                              "vote_rounds",
+                              static_cast<double>(i));
+        });
+
+        // A real pipeline slice on top: stage timers + retry events
+        // through the resilient prober (noisy channel, stateful rng).
+        de::WeightStoreOracle oracle(victim);
+        de::BitProbeChannel channel(oracle, 1, 0.02, 13);
+        de::ResilienceOptions ropts;
+        de::RetryingProber prober(channel, ropts, nullptr);
+        const de::ExtractionPolicy policy;
+        const de::SelectiveWeightExtractor extractor(policy);
+        de::ExtractionStats stats;
+        auto out =
+            extractor.extractLayer(pre.layers[0].w, prober, 0, stats);
+
+        std::ostringstream oss;
+        obs::flightRecorder().dumpJsonl(oss);
+        obs::shutdown(); // clears recorder + mode for the next lane
+        return oss.str();
+    };
+
+    const std::string reference = run(1);
+    EXPECT_NE(reference.find("\"type\":\"flight\""), std::string::npos);
+    EXPECT_NE(reference.find("\"dropped\":0"), std::string::npos)
+        << "a wrapped ring would invalidate the bit-identity claim";
+    for (std::size_t threads : kThreadCounts)
+        EXPECT_EQ(run(threads), reference)
+            << "flight dump differs at " << threads << " lanes";
+
+    obs::setClockForTest(nullptr);
 }
 
 TEST(Determinism, TwoLevelAttackReportByteIdentical)

@@ -93,7 +93,11 @@ TEST(Lint, BadRepoFiresEveryRule)
     EXPECT_EQ(countRuleInFile(r, "R5", "src/a/r5_env_todo.cc"), 2);
     EXPECT_EQ(countRuleInFile(r, "R5", "src/a/r5_stale.cc"), 1);
 
-    EXPECT_EQ(r.violations.size(), 16u) << lint::renderText(r);
+    // R6: std::cout, std::cerr, fprintf — snprintf and the literal
+    // containing "std::cout" must not fire.
+    EXPECT_EQ(countRuleInFile(r, "R6", "src/a/r6_print.cc"), 3);
+
+    EXPECT_EQ(r.violations.size(), 19u) << lint::renderText(r);
     EXPECT_TRUE(r.suppressed.empty());
 
     // Rule counts in the report must agree with the raw list.
@@ -102,6 +106,7 @@ TEST(Lint, BadRepoFiresEveryRule)
     EXPECT_EQ(r.countsByRule.at("R3"), 1);
     EXPECT_EQ(r.countsByRule.at("R4"), 3);
     EXPECT_EQ(r.countsByRule.at("R5"), 4);
+    EXPECT_EQ(r.countsByRule.at("R6"), 3);
 }
 
 TEST(Lint, ViolationLinesPointAtTheConstruct)

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -17,10 +20,13 @@
 #include "extraction/resilient.hh"
 #include "extraction/selective.hh"
 #include "obs/clock.hh"
+#include "obs/flight.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "obs/quantile.hh"
 #include "obs/tracer.hh"
+#include "obs/watchdog.hh"
 #include "util/rng.hh"
 
 namespace dob = decepticon::obs;
@@ -461,6 +467,304 @@ TEST(StatStructs, ToMetricsPublishesGauges)
     rs.toMetrics(reg, "rel");
     EXPECT_DOUBLE_EQ(reg.gauge("rel.logical_bits"), 10.0);
     EXPECT_DOUBLE_EQ(reg.gauge("rel.amplification"), 3.0);
+}
+
+// ---------------------------------------------------------------------
+// LogHistogram (obs v2 latency quantiles)
+// ---------------------------------------------------------------------
+
+TEST(LogHistogram, QuantileAccuracyVsExactSort)
+{
+    decepticon::util::Rng rng(42);
+    dob::LogHistogram hist;
+    std::vector<double> samples;
+    samples.reserve(4000);
+    for (int i = 0; i < 4000; ++i) {
+        // Heavy-tailed latency-ish distribution spanning ~5 octaves.
+        const double v = 20.0 * std::exp(rng.gaussian(0.0, 1.2));
+        samples.push_back(v);
+        hist.add(v);
+    }
+    std::sort(samples.begin(), samples.end());
+
+    // One bucket spans a factor of 2^(1/8); the reported geometric
+    // midpoint is within 2^(1/16) of any sample in the bucket, plus
+    // one bucket of slack for rank rounding at a boundary: the
+    // estimate/exact ratio must stay within 2^(3/16) ≈ 1.139.
+    const double bound = std::pow(2.0, 3.0 / 16.0) + 1e-9;
+    for (double q : {0.50, 0.90, 0.99}) {
+        const std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(samples.size())));
+        const double exact = samples[rank - 1];
+        const double est = hist.quantile(q);
+        const double ratio = est > exact ? est / exact : exact / est;
+        EXPECT_LE(ratio, bound)
+            << "q=" << q << " exact=" << exact << " est=" << est;
+    }
+}
+
+TEST(LogHistogram, ClipLedgersDeltaAndFromCounts)
+{
+    dob::LogHistogram hist;
+    hist.add(0.25); // below kLo: clamped up, underflow ledger
+    hist.add(10.0);
+    hist.add(1e15); // beyond the top octave: overflow ledger
+    EXPECT_EQ(hist.total(), 3u);
+    EXPECT_EQ(hist.underflow(), 1u);
+    EXPECT_EQ(hist.overflow(), 1u);
+
+    // Snapshot-delta: only the new samples remain.
+    dob::LogHistogram later = hist;
+    later.add(100.0);
+    later.add(100.0);
+    const dob::LogHistogram d = later.delta(hist);
+    EXPECT_EQ(d.total(), 2u);
+    EXPECT_EQ(d.underflow(), 0u);
+    const double mid = d.quantile(0.5);
+    EXPECT_GT(mid, 100.0 / 1.10);
+    EXPECT_LT(mid, 100.0 * 1.10);
+
+    // fromCounts round-trip reproduces quantiles exactly (the
+    // geometry is compile-time fixed, so counts are sufficient).
+    const dob::LogHistogram re = dob::LogHistogram::fromCounts(
+        later.counts(), later.underflow(), later.overflow(),
+        later.sum());
+    for (double q : {0.5, 0.9, 0.99})
+        EXPECT_DOUBLE_EQ(re.quantile(q), later.quantile(q));
+}
+
+TEST(MetricsRegistry, LatencyExportCarriesQuantilesAndClipCounts)
+{
+    dob::MetricsRegistry reg;
+    for (int i = 0; i < 99; ++i)
+        reg.observeLatency("stage.classify.micros", 100.0);
+    reg.observeLatency("stage.classify.micros", 0.25); // underflow
+
+    // util::Histogram ledgers ride along: out-of-range samples into
+    // the linear histogram must be counted, not silently clipped.
+    reg.observe("score", -0.5, 0.0, 1.0, 4);
+    reg.observe("score", 2.0, 0.0, 1.0, 4);
+    reg.observe("score", 0.5, 0.0, 1.0, 4);
+
+    std::ostringstream oss;
+    reg.exportJson(oss);
+    dob::json::Value v;
+    std::string err;
+    ASSERT_TRUE(dob::json::parse(oss.str(), v, &err)) << err;
+
+    const auto *lat = v.find("latencies");
+    ASSERT_NE(lat, nullptr);
+    const auto *h = lat->find("stage.classify.micros");
+    ASSERT_NE(h, nullptr);
+    EXPECT_DOUBLE_EQ(h->find("count")->number, 100.0);
+    EXPECT_DOUBLE_EQ(h->find("underflow")->number, 1.0);
+    EXPECT_DOUBLE_EQ(h->find("overflow")->number, 0.0);
+    const double p50 = h->find("p50")->number;
+    EXPECT_GT(p50, 100.0 / 1.10);
+    EXPECT_LT(p50, 100.0 * 1.10);
+    ASSERT_NE(h->find("counts"), nullptr);
+
+    const auto *hist = v.find("histograms");
+    ASSERT_NE(hist, nullptr);
+    const auto *score = hist->find("score");
+    ASSERT_NE(score, nullptr);
+    EXPECT_DOUBLE_EQ(score->find("underflow")->number, 1.0);
+    EXPECT_DOUBLE_EQ(score->find("overflow")->number, 1.0);
+    EXPECT_DOUBLE_EQ(score->find("total")->number, 3.0);
+
+    // JSONL export carries the same latency line.
+    std::ostringstream jl;
+    reg.exportJsonl(jl);
+    EXPECT_NE(jl.str().find("\"type\":\"latency\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------
+
+TEST(Watchdog, StallFiresOnceOnFrozenStageAndRearmsAfterRecovery)
+{
+    dob::MetricsRegistry reg;
+    dob::Watchdog dog;
+    reg.add("stage.probe.enter", 4);
+    reg.add("stage.probe.exit", 1);
+    dog.tick(reg); // baseline
+    EXPECT_TRUE(dog.tick(reg).empty()) << "1 frozen tick < stallTicks";
+    const auto findings = dog.tick(reg); // 2 frozen ticks = stall
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].kind, "stall");
+    EXPECT_EQ(findings[0].subject, "probe");
+    EXPECT_TRUE(dog.tick(reg).empty()) << "flagged once, not per tick";
+    EXPECT_EQ(reg.counter("obs.watchdog.stalls"), 1u);
+
+    // Recovery (exit catches up), then a fresh stall re-flags.
+    reg.add("stage.probe.exit", 1);
+    EXPECT_TRUE(dog.tick(reg).empty());
+    EXPECT_TRUE(dog.tick(reg).empty());
+    const auto again = dog.tick(reg);
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0].kind, "stall");
+    EXPECT_EQ(dog.report().findings.size(), 2u);
+    EXPECT_FALSE(dog.report().healthy());
+}
+
+TEST(Watchdog, QuietOnHealthyRun)
+{
+    dob::MetricsRegistry reg;
+    dob::Watchdog dog;
+    for (int t = 0; t < 6; ++t) {
+        reg.add("stage.classify.enter", 8);
+        reg.add("stage.classify.exit", 8);
+        reg.add("fault.capture_attempts", 10);
+        reg.add("fault.captures_corrupted", 2); // 20% << 75% band
+        reg.add("level1.identifies", 10);
+        reg.add("level1.insufficient_evidence", 1); // 10% << 50%
+        EXPECT_TRUE(dog.tick(reg).empty()) << "tick " << t;
+    }
+    EXPECT_TRUE(dog.report().healthy());
+    EXPECT_EQ(reg.counter("obs.watchdog.ticks"), 6u);
+    EXPECT_EQ(reg.counter("obs.watchdog.findings"), 0u);
+}
+
+TEST(Watchdog, FaultSpikeAndAbstainAnomaly)
+{
+    dob::MetricsRegistry reg;
+    dob::Watchdog dog;
+    dog.tick(reg); // baseline
+
+    reg.add("fault.capture_attempts", 8);
+    reg.add("fault.captures_corrupted", 8); // rate 1.0 > 0.75
+    reg.add("level1.identifies", 4);
+    reg.add("level1.insufficient_evidence", 3); // rate 0.75 > 0.5
+    const auto findings = dog.tick(reg);
+    ASSERT_EQ(findings.size(), 2u);
+    std::set<std::string> kinds;
+    for (const auto &f : findings)
+        kinds.insert(f.kind);
+    EXPECT_TRUE(kinds.count("fault_spike"));
+    EXPECT_TRUE(kinds.count("abstain_anomaly"));
+    EXPECT_EQ(reg.counter("obs.watchdog.fault_spikes"), 1u);
+    EXPECT_EQ(reg.counter("obs.watchdog.abstain_anomalies"), 1u);
+
+    // Below minSamples no rate is judged, however extreme.
+    dob::MetricsRegistry reg2;
+    dob::Watchdog dog2;
+    dog2.tick(reg2);
+    reg2.add("fault.capture_attempts", 2);
+    reg2.add("fault.captures_corrupted", 2);
+    EXPECT_TRUE(dog2.tick(reg2).empty());
+
+    // WatchdogReport JSON is parseable and carries the findings.
+    std::ostringstream oss;
+    dog.report().toJson(oss);
+    dob::json::Value v;
+    std::string err;
+    ASSERT_TRUE(dob::json::parse(oss.str(), v, &err)) << err;
+    EXPECT_DOUBLE_EQ(v.find("healthy")->number, 0.0);
+    ASSERT_TRUE(v.find("findings")->isArray());
+    EXPECT_EQ(v.find("findings")->array.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorder, RingWraparoundKeepsNewestAndCountsDropped)
+{
+    dob::FlightRecorder rec(8);
+    for (int i = 0; i < 20; ++i) {
+        dob::FlightEvent ev;
+        ev.kind = dob::FlightEventKind::Retry;
+        ev.stage = "probe";
+        ev.value = static_cast<double>(i);
+        ev.ts = static_cast<std::uint64_t>(i);
+        rec.record(ev);
+    }
+    const auto events = rec.canonicalEvents();
+    ASSERT_EQ(events.size(), 8u);
+    EXPECT_EQ(rec.dropped(), 12u);
+    // Oldest overwritten first: the surviving events are 12..19.
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].ts, 12u + i);
+
+    // The dump trailer makes the truncation visible.
+    std::ostringstream oss;
+    rec.dumpJsonl(oss);
+    EXPECT_NE(oss.str().find("\"dropped\":12"), std::string::npos);
+
+    rec.clear();
+    EXPECT_TRUE(rec.canonicalEvents().empty());
+    EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(ObsFacade, ParseFlightSpecAndModeGate)
+{
+    dob::ObsConfig cfg;
+    dob::parseFlightSpec("on", cfg);
+    EXPECT_EQ(cfg.flightMode, dob::FlightMode::On);
+    EXPECT_TRUE(cfg.flightPath.empty());
+    dob::parseFlightSpec("on:/tmp/f.jsonl", cfg);
+    EXPECT_EQ(cfg.flightMode, dob::FlightMode::On);
+    EXPECT_EQ(cfg.flightPath, "/tmp/f.jsonl");
+    dob::parseFlightSpec("on_error:/tmp/e.jsonl", cfg);
+    EXPECT_EQ(cfg.flightMode, dob::FlightMode::OnError);
+    EXPECT_EQ(cfg.flightPath, "/tmp/e.jsonl");
+    dob::parseFlightSpec("off", cfg);
+    EXPECT_EQ(cfg.flightMode, dob::FlightMode::Off);
+    EXPECT_TRUE(cfg.flightPath.empty());
+    dob::parseFlightSpec("garbage", cfg);
+    EXPECT_EQ(cfg.flightMode, dob::FlightMode::Off);
+
+    // Off mode: flightRecord is a no-op, nothing accumulates.
+    dob::shutdown();
+    dob::flightRecord(dob::FlightEventKind::Fault, "trace_capture");
+    EXPECT_TRUE(dob::flightRecorder().canonicalEvents().empty());
+    EXPECT_FALSE(dob::flightEnabled());
+}
+
+TEST(ObsFacade, StageTimerFeedsCountersLatencyAndFlightEvents)
+{
+    dob::FakeClock clock(1000);
+    dob::setClockForTest(&clock);
+    dob::ObsConfig cfg;
+    cfg.metricsEnabled = true;
+    cfg.flightMode = dob::FlightMode::On;
+    dob::configure(cfg);
+
+    {
+        dob::StageTimer timer("classify");
+        clock.advance(250);
+    }
+    EXPECT_EQ(dob::metrics().counter("stage.classify.enter"), 1u);
+    EXPECT_EQ(dob::metrics().counter("stage.classify.exit"), 1u);
+    const auto hist =
+        dob::metrics().latency("stage.classify.micros");
+    ASSERT_TRUE(hist.has_value());
+    EXPECT_EQ(hist->total(), 1u);
+
+    const auto events = dob::flightRecorder().canonicalEvents();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, dob::FlightEventKind::StageEnter);
+    EXPECT_EQ(events[1].kind, dob::FlightEventKind::StageExit);
+    EXPECT_EQ(events[1].stage, "classify");
+    EXPECT_DOUBLE_EQ(events[1].value, 250.0); // duration rides along
+
+    // on_error mode: events accumulate but flush only dumps once an
+    // error was noted — the gate the recorder exposes directly.
+    dob::shutdown();
+    cfg.metricsEnabled = false;
+    cfg.flightMode = dob::FlightMode::OnError;
+    dob::configure(cfg);
+    dob::flightRecord(dob::FlightEventKind::Verdict, "fuse",
+                      "insufficient", 0.0);
+    EXPECT_FALSE(dob::flightRecorder().errorNoted());
+    dob::flightNoteError();
+    EXPECT_TRUE(dob::flightRecorder().errorNoted());
+    EXPECT_EQ(dob::flightRecorder().canonicalEvents().size(), 1u);
+
+    dob::shutdown();
+    dob::setClockForTest(nullptr);
+    EXPECT_TRUE(dob::flightRecorder().canonicalEvents().empty());
 }
 
 } // namespace

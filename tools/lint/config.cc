@@ -89,6 +89,10 @@ loadConfig(const std::string &path, Config &out, std::string *error)
             out.r4AllowDirs.push_back(key);
         } else if (section == "r5.env_allow_files") {
             out.r5EnvAllowFiles.insert(key);
+        } else if (section == "r6.paths") {
+            out.r6Paths.push_back(key);
+        } else if (section == "r6.allow_dirs") {
+            out.r6AllowDirs.push_back(key);
         } else if (section == "scan.roots") {
             out.scanRoots.push_back(key);
         } else {

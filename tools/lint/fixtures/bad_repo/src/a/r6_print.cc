@@ -1,0 +1,16 @@
+// Console diagnostics in library code: three R6 hits. The snprintf
+// is legal (formats into a buffer) and "std::cout" inside the string
+// literal below must not fire — literals are blanked before scanning.
+#include <cstdio>
+#include <iostream>
+
+void
+chattyLibrary(double value)
+{
+    std::cout << "progress: " << value << "\n";
+    std::cerr << "warning: value drifted\n";
+    std::fprintf(stderr, "value=%f\n", value);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "std::cout says %f", value);
+    (void)buf;
+}

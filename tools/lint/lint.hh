@@ -21,6 +21,11 @@
  *   R5  hygiene — headers without an include guard, getenv outside
  *       the config shims, TODO/FIXME without an issue tag, and stale
  *       (unused) suppression comments.
+ *   R6  console-I/O ban — std::cout/cerr/clog and printf-family
+ *       calls in library code ([r6.paths], minus [r6.allow_dirs]):
+ *       diagnostics go through obs:: (metrics / trace / flight
+ *       recorder) and renderers write to caller-provided streams, so
+ *       library output stays capturable and deterministic.
  *
  * Deliberately not built on libclang: a deterministic token/line
  * scanner plus an include-graph builder covers every rule above, has
@@ -70,6 +75,11 @@ struct Config
     std::vector<std::string> r4AllowDirs;
     /** [r5.env_allow_files] the config shims allowed to getenv. */
     std::set<std::string> r5EnvAllowFiles;
+    /** [r6.paths] path prefixes where console I/O is banned. */
+    std::vector<std::string> r6Paths;
+    /** [r6.allow_dirs] directory prefixes exempt from R6 (the obs
+     *  exporters and report renderers that own process output). */
+    std::vector<std::string> r6AllowDirs;
     /** [scan.roots] directories walked under --root. */
     std::vector<std::string> scanRoots;
 };
@@ -81,7 +91,7 @@ struct Violation
 {
     std::string file; ///< repo-relative, '/' separators
     int line = 0;
-    std::string rule; ///< "R1".."R5"
+    std::string rule; ///< "R1".."R6"
     std::string message;
     std::string justification; ///< non-empty only for suppressed hits
 };
@@ -97,7 +107,7 @@ struct Report
 /** One suppression comment, matched to uses as rules fire. */
 struct Suppression
 {
-    std::string rule;          ///< "R1".."R5"
+    std::string rule;          ///< "R1".."R6"
     std::string justification; ///< text after the rule token, trimmed
     int line = 0;              ///< line the suppression targets
     bool used = false;
@@ -122,7 +132,7 @@ struct SourceFile
 bool loadSource(const std::string &absPath, const std::string &relPath,
                 SourceFile &out);
 
-/** Run rules R1, R3, R4, R5 on one file. */
+/** Run rules R1, R3, R4, R5, R6 on one file. */
 void checkFile(SourceFile &f, const Config &cfg, Report &out);
 
 /** Run R2 (layer ranks + file-level cycles) over all loaded files. */

@@ -1,7 +1,8 @@
 /**
  * @file
  * Per-file rules for decepticon-lint: R1 (banned nondeterminism),
- * R3 (unordered-iteration hazard), R4 (raw-thread ban), R5 (hygiene).
+ * R3 (unordered-iteration hazard), R4 (raw-thread ban), R5 (hygiene),
+ * R6 (console-I/O ban in library code).
  * All token-level checks run over the comment/string-blanked code
  * view, so `"std::rand()"` in a log string or a doc comment never
  * fires.
@@ -369,6 +370,43 @@ checkR5(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
     }
 }
 
+// --- R6: console I/O outside obs/report code ----------------------
+
+void
+checkR6(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
+        Report &out)
+{
+    if (!underAny(f.path, cfg.r6Paths) ||
+        underAny(f.path, cfg.r6AllowDirs))
+        return;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].ident)
+            continue;
+        const std::string &id = t[i].text;
+        if ((id == "cout" || id == "cerr" || id == "clog") &&
+            stdQualifiedOrBare(t, i)) {
+            emitViolation(f, t[i].line, "R6",
+                          "std::" + id +
+                              " in library code: route diagnostics "
+                              "through obs:: (metrics/trace/flight) or "
+                              "write to a caller-provided stream",
+                          out);
+        } else if ((id == "printf" || id == "fprintf" ||
+                    id == "puts" || id == "fputs") &&
+                   tokText(t, i + 1) == "(" &&
+                   stdQualifiedOrBare(t, i)) {
+            // snprintf/sprintf format into buffers, not the console,
+            // and tokenize as distinct identifiers — not matched.
+            emitViolation(f, t[i].line, "R6",
+                          "call to " + id +
+                              "(): console diagnostics are banned in "
+                              "library code; use obs:: or return "
+                              "strings/streams",
+                          out);
+        }
+    }
+}
+
 } // namespace
 
 void
@@ -379,6 +417,7 @@ checkFile(SourceFile &f, const Config &cfg, Report &out)
     checkR3(f, toks, cfg, out);
     checkR4(f, toks, cfg, out);
     checkR5(f, toks, cfg, out);
+    checkR6(f, toks, cfg, out);
 }
 
 } // namespace decepticon::lint
