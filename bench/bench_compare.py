@@ -10,7 +10,10 @@ BOTH snapshots is compared, and so is every per-stage latency gauge
 ending ``.p99_micros`` (exported by the obs v2 StageTimer
 histograms); a candidate more than ``threshold`` (default 15%)
 slower than the baseline is a regression and the script exits 1 —
-the verify pipeline gates on that. Wall-clock gauges only: cpu_time
+the verify pipeline gates on that. Throughput gauges ending
+``.victims_per_sec`` (the campaign engine) gate in the opposite
+direction: a candidate more than ``threshold`` *below* the baseline
+fails. Wall-clock gauges only: cpu_time
 aggregates scheduler lanes and misreports threaded benchmarks.
 Gauges present in only one snapshot (new or retired benchmarks) are
 reported but never fail the run, so adding a benchmark does not
@@ -86,14 +89,21 @@ def compare_lint_reports(baseline_path, candidate_path):
     return 0
 
 
-def gated_gauge(name):
-    """Gauges judged against the slowdown threshold: benchmark wall
-    clocks plus per-stage p99 latencies (one log-histogram bucket is
-    ~9%, so a >15% p99 move is at least two buckets — real, not
-    quantization noise)."""
+def gauge_direction(name):
+    """Gating direction of a gauge, or None if not gated.
+
+    "lower": benchmark wall clocks plus per-stage p99 latencies (one
+    log-histogram bucket is ~9%, so a >15% p99 move is at least two
+    buckets — real, not quantization noise). "higher": throughput
+    gauges (campaign victims/sec), where a drop below the threshold
+    is the regression."""
     if name.startswith("bench.") and name.endswith(".real_time"):
-        return True
-    return name.endswith(".p99_micros")
+        return "lower"
+    if name.endswith(".p99_micros"):
+        return "lower"
+    if name.endswith(".victims_per_sec"):
+        return "higher"
+    return None
 
 
 def real_time_gauges(path):
@@ -103,7 +113,7 @@ def real_time_gauges(path):
     return {
         name: value
         for name, value in gauges.items()
-        if gated_gauge(name)
+        if gauge_direction(name) is not None
         and isinstance(value, (int, float)) and value > 0
     }
 
@@ -141,7 +151,11 @@ def main():
     for name in shared:
         ratio = cand[name] / base[name]
         flag = ""
-        if ratio > 1.0 + args.threshold:
+        if gauge_direction(name) == "higher":
+            regressed = ratio < 1.0 - args.threshold
+        else:
+            regressed = ratio > 1.0 + args.threshold
+        if regressed:
             regressions.append((name, ratio))
             flag = "  REGRESSION"
         print(f"{name:<{width}}  {base[name]:>12.0f}  {cand[name]:>12.0f}"

@@ -1,0 +1,270 @@
+#include "campaign/campaign.hh"
+
+#include <cassert>
+#include <utility>
+
+#include "fault/fault.hh"
+#include "gpusim/trace_generator.hh"
+#include "obs/obs.hh"
+#include "sched/sched.hh"
+#include "trace/repair.hh"
+#include "transformer/task.hh"
+#include "util/rng.hh"
+
+namespace decepticon::campaign {
+
+std::string
+sessionCacheKey(const zoo::VictimSessionSpec &spec)
+{
+    assert(spec.lineage != nullptr);
+    return spec.lineage->signature.toString() + "/L" +
+           std::to_string(spec.lineage->arch.numLayers) + "x" +
+           std::to_string(spec.lineage->arch.hidden);
+}
+
+namespace {
+
+/** S1 output: one session's repaired consensus trace. */
+struct Ingest
+{
+    gpusim::KernelTrace consensus;
+    bool hasTrace = false;
+};
+
+} // anonymous namespace
+
+CampaignDriver::CampaignDriver(core::TwoLevelAttack &attack,
+                               CampaignOptions opts)
+    : attack_(attack), opts_(std::move(opts)), cache_(opts_.cache)
+{
+    assert(opts_.batchSize > 0);
+}
+
+core::CampaignReport
+CampaignDriver::run(const std::vector<zoo::VictimSessionSpec> &sessions)
+{
+    core::CampaignReport report;
+    const CacheStats stats_at_start = cache_.stats();
+
+    auto campaign_span = obs::span("campaign.run", "campaign");
+    campaign_span.arg("sessions",
+                      static_cast<std::uint64_t>(sessions.size()));
+    obs::Watchdog watchdog;
+    if (obs::metricsEnabled())
+        watchdog.tick(obs::metrics()); // baseline snapshot
+
+    for (std::size_t batch_start = 0; batch_start < sessions.size();
+         batch_start += opts_.batchSize) {
+        const std::size_t batch_end = std::min(
+            batch_start + opts_.batchSize, sessions.size());
+        const std::size_t batch_n = batch_end - batch_start;
+        const std::uint64_t t_batch = obs::clock().nowMicros();
+        obs::StageTimer batch_timer("campaign_batch");
+
+        // ---- S1: parallel ingest. Trace synthesis, fault corruption
+        // and repair are pure per session (all randomness derives from
+        // the session seed), so the jobs fill independent slots.
+        std::vector<Ingest> ingest(batch_n);
+        sched::parallelFor(batch_n, 1, [&](std::size_t j) {
+            const zoo::VictimSessionSpec &spec =
+                sessions[batch_start + j];
+            if (spec.blackout)
+                return;
+            util::Rng rng(spec.seed);
+            const gpusim::TraceGenerator gen(spec.lineage->signature);
+            const gpusim::KernelTrace truth =
+                gen.generate(spec.lineage->arch, rng.nextU64());
+            if (spec.traceFaultSeverity > 0.0) {
+                fault::FaultSpec fs;
+                fs.recordDropRate =
+                    opts_.maxRecordDropRate * spec.traceFaultSeverity;
+                fs.recordDuplicateRate =
+                    0.1 * spec.traceFaultSeverity;
+                fs.truncateProbability = opts_.maxTruncateProbability *
+                                         spec.traceFaultSeverity;
+                fs.seed = spec.seed ^ 0xfa1ee7ULL;
+                fault::FaultInjector injector(fs);
+                std::vector<gpusim::KernelTrace> captures;
+                captures.reserve(spec.captures);
+                for (std::size_t c = 0; c < spec.captures; ++c)
+                    captures.push_back(
+                        injector.corruptTrace(truth, rng.nextU64()));
+                ingest[j].consensus = trace::repairTraces(captures);
+            } else {
+                ingest[j].consensus = truth;
+            }
+            ingest[j].hasTrace = true;
+        });
+
+        // ---- S2: serial cache consult in queue order.
+        std::vector<CacheLookup> looked(batch_n);
+        std::vector<std::size_t> classify; // batch-local indices
+        for (std::size_t j = 0; j < batch_n; ++j) {
+            const zoo::VictimSessionSpec &spec =
+                sessions[batch_start + j];
+            if (!ingest[j].hasTrace)
+                continue; // nothing captured, nothing to look up
+            looked[j] = cache_.lookup(sessionCacheKey(spec),
+                                      cacheClock_ + batch_start + j);
+            if (looked[j].outcome != CacheOutcome::Hit)
+                classify.push_back(j);
+        }
+
+        // ---- S3: batched level-1 over the misses and stale entries.
+        std::vector<const gpusim::KernelTrace *> traces;
+        std::vector<std::function<std::vector<bool>()>> hooks;
+        traces.reserve(classify.size());
+        hooks.reserve(classify.size());
+        for (std::size_t j : classify) {
+            const zoo::VictimSessionSpec &spec =
+                sessions[batch_start + j];
+            traces.push_back(&ingest[j].consensus);
+            hooks.push_back(opts_.useQueryProbes
+                                ? core::makeVictimQueryHook(
+                                      spec.lineage->vocabProfile)
+                                : std::function<std::vector<bool>()>{});
+        }
+        const std::vector<core::IdentificationResult> fresh =
+            attack_.level1().identifyBatch(traces, hooks);
+
+        // ---- S4: blackout sessions abstain through the fused path
+        // (honest insufficient-evidence verdict, counted like any
+        // other identification attempt).
+        std::vector<core::IdentificationResult> idents(batch_n);
+        for (std::size_t j = 0; j < batch_n; ++j) {
+            const zoo::VictimSessionSpec &spec =
+                sessions[batch_start + j];
+            if (!spec.blackout)
+                continue;
+            idents[j] = attack_.level1().identifyFused(
+                core::MultiChannelCapture{});
+        }
+        for (std::size_t k = 0; k < classify.size(); ++k)
+            idents[classify[k]] = fresh[k];
+
+        // ---- S5: serial cache update in queue order. A stale entry's
+        // revalidation goes through storeIdentity too, which drops the
+        // cached clone when the identity flipped.
+        for (std::size_t j = 0; j < batch_n; ++j) {
+            const zoo::VictimSessionSpec &spec =
+                sessions[batch_start + j];
+            if (!ingest[j].hasTrace ||
+                looked[j].outcome == CacheOutcome::Hit)
+                continue;
+            if (!idents[j].insufficientEvidence &&
+                !idents[j].pretrainedName.empty())
+                cache_.storeIdentity(sessionCacheKey(spec),
+                                     idents[j].pretrainedName,
+                                     cacheClock_ + batch_start + j);
+        }
+
+        const std::uint64_t t_classified = obs::clock().nowMicros();
+        // Ingest + classification ran batch-wide; amortize their wall
+        // time evenly across the batch for per-victim attribution.
+        const std::uint64_t shared_micros =
+            (t_classified - t_batch) / batch_n;
+
+        // ---- S6: serial level-2 + rollup, queue order (the bit-probe
+        // channel is stateful; DESIGN §9 rule 3 keeps it serial).
+        for (std::size_t j = 0; j < batch_n; ++j) {
+            const zoo::VictimSessionSpec &spec =
+                sessions[batch_start + j];
+            const std::uint64_t t_session = obs::clock().nowMicros();
+            obs::count("campaign.sessions");
+
+            core::VictimOutcome out;
+            out.index = spec.index;
+            out.lineage = spec.lineage->name;
+            out.blackout = spec.blackout;
+
+            const bool cache_hit =
+                ingest[j].hasTrace &&
+                looked[j].outcome == CacheOutcome::Hit;
+            if (cache_hit) {
+                out.cacheHit = true;
+                out.identifiedParent = looked[j].identity;
+            } else if (!idents[j].insufficientEvidence) {
+                out.identifiedParent = idents[j].pretrainedName;
+            } else {
+                out.abstained = true;
+            }
+            out.identityCorrect =
+                !out.abstained &&
+                out.identifiedParent == spec.lineage->pretrainedName;
+
+            if (opts_.runLevel2 && !out.abstained) {
+                const transformer::TransformerClassifier *pretrained =
+                    attack_.candidateWeights(out.identifiedParent);
+                if (cache_hit && looked[j].cloneFresh &&
+                    opts_.reuseCachedClones) {
+                    out.cloneReused = true;
+                } else if (pretrained != nullptr) {
+                    // The victim: the true lineage's weights behind a
+                    // privately fine-tuned head, reachable only via
+                    // the probe channel and its query API.
+                    const transformer::TransformerClassifier *truth =
+                        attack_.candidateWeights(spec.lineage->name);
+                    assert(truth != nullptr &&
+                           "queue lineages come from the pool");
+                    transformer::TransformerClassifier victim(*truth);
+                    victim.resetHead(spec.numClasses,
+                                     spec.seed ^ 0x4eadULL);
+                    const transformer::MarkovTask task(
+                        opts_.victimConfig.vocab, spec.numClasses,
+                        opts_.victimConfig.maxSeqLen,
+                        opts_.seed ^ spec.seed, 4.0);
+                    const transformer::Dataset query_set = task.sample(
+                        opts_.querySetSize, spec.seed ^ 0x9e5ULL);
+                    extraction::CloneResult cloned =
+                        extraction::ModelCloner::extract(
+                            victim, *pretrained, query_set.examples,
+                            opts_.cloner);
+                    out.cloned = cloned.clone != nullptr;
+                    out.agreement =
+                        cloned.agreementTrajectory.empty()
+                            ? 0.0
+                            : cloned.agreementTrajectory.back();
+                    if (out.cloned && ingest[j].hasTrace)
+                        cache_.storeClone(sessionCacheKey(spec),
+                                          std::move(cloned.clone),
+                                          cacheClock_ + batch_start + j);
+                }
+            }
+
+            out.timeToCloneMicros =
+                shared_micros +
+                (obs::clock().nowMicros() - t_session);
+            obs::observeLatency(
+                "campaign.time_to_clone.micros",
+                static_cast<double>(out.timeToCloneMicros));
+            obs::flightRecord(obs::FlightEventKind::Verdict, "campaign",
+                              out.abstained      ? "abstain"
+                              : out.cloneReused  ? "clone_reused"
+                              : out.cacheHit     ? "cache_hit"
+                                                 : "identified",
+                              static_cast<double>(spec.index));
+            report.recordVictim(std::move(out));
+        }
+
+        report.totalMicros += obs::clock().nowMicros() - t_batch;
+        if (obs::metricsEnabled())
+            watchdog.tick(obs::metrics());
+    }
+    cacheClock_ += sessions.size();
+
+    const CacheStats &stats_now = cache_.stats();
+    report.cacheHits = stats_now.hits - stats_at_start.hits;
+    report.cacheMisses = stats_now.misses - stats_at_start.misses;
+    report.cacheStale = stats_now.stale - stats_at_start.stale;
+    report.cacheEvictions =
+        stats_now.evictions - stats_at_start.evictions;
+    report.cacheInvalidations =
+        stats_now.invalidations - stats_at_start.invalidations;
+    report.watchdog = watchdog.report();
+    campaign_span.arg("victims_per_sec", report.victimsPerSec());
+    if (obs::metricsEnabled())
+        report.toMetrics(obs::metrics());
+    return report;
+}
+
+} // namespace decepticon::campaign

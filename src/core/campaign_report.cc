@@ -1,0 +1,170 @@
+#include "core/campaign_report.hh"
+
+#include <sstream>
+
+#include "obs/metrics.hh"
+
+namespace decepticon::core {
+
+void
+CampaignReport::recordVictim(VictimOutcome outcome)
+{
+    ++sessions;
+    if (outcome.blackout)
+        ++blackouts;
+    if (outcome.abstained) {
+        ++abstained;
+    } else {
+        ++identified;
+        if (outcome.identityCorrect)
+            ++correct;
+    }
+    if (outcome.cloned)
+        ++clonesBuilt;
+    if (outcome.cloneReused)
+        ++cloneReuses;
+    timeToClone.add(static_cast<double>(outcome.timeToCloneMicros));
+    victims.push_back(std::move(outcome));
+}
+
+double
+CampaignReport::identificationAccuracy() const
+{
+    if (identified == 0)
+        return 0.0;
+    return static_cast<double>(correct) / static_cast<double>(identified);
+}
+
+double
+CampaignReport::cacheHitRate() const
+{
+    const std::size_t lookups = cacheHits + cacheMisses + cacheStale;
+    if (lookups == 0)
+        return 0.0;
+    return static_cast<double>(cacheHits) / static_cast<double>(lookups);
+}
+
+double
+CampaignReport::victimsPerSec() const
+{
+    if (totalMicros == 0)
+        return 0.0;
+    return static_cast<double>(sessions) /
+           (static_cast<double>(totalMicros) / 1e6);
+}
+
+std::string
+CampaignReport::toJson() const
+{
+    std::ostringstream oss;
+    oss << "{\"queue\":{"
+        << "\"sessions\":" << sessions
+        << ",\"identified\":" << identified
+        << ",\"correct\":" << correct
+        << ",\"abstained\":" << abstained
+        << ",\"blackouts\":" << blackouts
+        << ",\"accuracy\":" << obs::jsonNumber(identificationAccuracy())
+        << "},\"cache\":{"
+        << "\"hits\":" << cacheHits
+        << ",\"misses\":" << cacheMisses
+        << ",\"stale\":" << cacheStale
+        << ",\"evictions\":" << cacheEvictions
+        << ",\"invalidations\":" << cacheInvalidations
+        << ",\"hit_rate\":" << obs::jsonNumber(cacheHitRate())
+        << "},\"level2\":{"
+        << "\"clones_built\":" << clonesBuilt
+        << ",\"clone_reuses\":" << cloneReuses
+        << "},\"throughput\":{"
+        << "\"total_micros\":" << totalMicros
+        << ",\"victims_per_sec\":" << obs::jsonNumber(victimsPerSec())
+        << ",\"time_to_clone_p50_micros\":"
+        << obs::jsonNumber(timeToClone.quantile(0.5))
+        << ",\"time_to_clone_p99_micros\":"
+        << obs::jsonNumber(timeToClone.quantile(0.99))
+        << ",\"time_to_clone_samples\":" << timeToClone.total()
+        << "},\"victims\":[";
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+        const VictimOutcome &v = victims[i];
+        if (i > 0)
+            oss << ",";
+        oss << "{\"index\":" << v.index
+            << ",\"lineage\":" << obs::jsonQuote(v.lineage)
+            << ",\"parent\":" << obs::jsonQuote(v.identifiedParent)
+            << ",\"correct\":" << (v.identityCorrect ? "true" : "false")
+            << ",\"cache_hit\":" << (v.cacheHit ? "true" : "false")
+            << ",\"clone_reused\":" << (v.cloneReused ? "true" : "false")
+            << ",\"blackout\":" << (v.blackout ? "true" : "false")
+            << ",\"abstained\":" << (v.abstained ? "true" : "false")
+            << ",\"cloned\":" << (v.cloned ? "true" : "false")
+            << ",\"agreement\":" << obs::jsonNumber(v.agreement)
+            << ",\"time_to_clone_micros\":" << v.timeToCloneMicros
+            << "}";
+    }
+    oss << "],\"watchdog\":";
+    watchdog.toJson(oss);
+    oss << "}";
+    return oss.str();
+}
+
+void
+CampaignReport::toMetrics(obs::MetricsRegistry &registry) const
+{
+    const auto gauge = [&](const char *name, double value) {
+        registry.setGauge(std::string("campaign.") + name, value);
+    };
+    gauge("sessions", static_cast<double>(sessions));
+    gauge("identified", static_cast<double>(identified));
+    gauge("correct", static_cast<double>(correct));
+    gauge("abstained", static_cast<double>(abstained));
+    gauge("blackouts", static_cast<double>(blackouts));
+    gauge("identification_accuracy", identificationAccuracy());
+    gauge("cache.hits", static_cast<double>(cacheHits));
+    gauge("cache.misses", static_cast<double>(cacheMisses));
+    gauge("cache.stale", static_cast<double>(cacheStale));
+    gauge("cache.evictions", static_cast<double>(cacheEvictions));
+    gauge("cache.invalidations",
+          static_cast<double>(cacheInvalidations));
+    gauge("cache.hit_rate", cacheHitRate());
+    gauge("clones_built", static_cast<double>(clonesBuilt));
+    gauge("clone_reuses", static_cast<double>(cloneReuses));
+    gauge("total_micros", static_cast<double>(totalMicros));
+    gauge("victims_per_sec", victimsPerSec());
+    gauge("time_to_clone.p50_micros", timeToClone.quantile(0.5));
+    gauge("time_to_clone.p99_micros", timeToClone.quantile(0.99));
+    gauge("watchdog_ticks", static_cast<double>(watchdog.ticks));
+    gauge("watchdog_findings",
+          static_cast<double>(watchdog.findings.size()));
+}
+
+std::string
+CampaignReport::summaryParagraph() const
+{
+    std::ostringstream oss;
+    oss << "Campaign: " << sessions << " victim session(s), "
+        << identified << " identified (" << correct << " correct, "
+        << abstained << " abstained, " << blackouts << " blackout(s)). "
+        << "Cache: " << cacheHits << " hit(s) / " << cacheMisses
+        << " miss(es) / " << cacheStale << " stale (hit rate "
+        << cacheHitRate() << ", " << cacheEvictions << " eviction(s), "
+        << cacheInvalidations << " invalidation(s)). "
+        << "Level 2: " << clonesBuilt << " clone(s) built, "
+        << cloneReuses << " reused from cache. ";
+    if (totalMicros > 0) {
+        oss << "Throughput " << victimsPerSec() << " victims/sec over "
+            << totalMicros / 1000 << " ms (time-to-clone p50 "
+            << timeToClone.quantile(0.5) << " us, p99 "
+            << timeToClone.quantile(0.99) << " us). ";
+    }
+    if (watchdog.ticks > 0) {
+        if (watchdog.healthy())
+            oss << "Watchdog healthy over " << watchdog.ticks
+                << " tick(s).";
+        else
+            oss << "Watchdog flagged " << watchdog.findings.size()
+                << " SLO violation(s) over " << watchdog.ticks
+                << " tick(s).";
+    }
+    return oss.str();
+}
+
+} // namespace decepticon::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 
 #include "gpusim/trace_generator.hh"
 #include "obs/obs.hh"
@@ -171,7 +172,6 @@ Decepticon::identify(const gpusim::KernelTrace &victim_trace,
                      const std::function<std::vector<bool>()> &query_victim)
 {
     assert(cnn_ && "trainExtractor must run first");
-    IdentificationResult result;
 
     auto sp = obs::span("level1.identify", "level1");
     obs::count("level1.identifies");
@@ -185,8 +185,33 @@ Decepticon::identify(const gpusim::KernelTrace &victim_trace,
 
     auto cnn_span = obs::span("level1.cnn_classify", "level1");
     const std::vector<double> probs = cnn_->classProbabilities(image);
-    const std::vector<int> top = cnn_->topK(image, opts_.topK);
     cnn_span.end();
+
+    IdentificationResult result =
+        resolveFromProbabilities(probs, query_victim);
+    sp.arg("parent", result.pretrainedName);
+    sp.arg("confidence", result.topProbability);
+    return result;
+}
+
+IdentificationResult
+Decepticon::resolveFromProbabilities(
+    const std::vector<double> &probs,
+    const std::function<std::vector<bool>()> &query_victim)
+{
+    IdentificationResult result;
+
+    // Top-k by probability, descending, index-stable on ties — the
+    // same ordering FingerprintCnn::topK produces, derived from the
+    // already-computed probability vector so batch callers pay one
+    // forward pass per victim.
+    std::vector<int> top(probs.size());
+    std::iota(top.begin(), top.end(), 0);
+    std::stable_sort(top.begin(), top.end(), [&](int a, int b) {
+        return probs[static_cast<std::size_t>(a)] >
+               probs[static_cast<std::size_t>(b)];
+    });
+    top.resize(std::min(opts_.topK, top.size()));
     assert(!top.empty());
 
     for (int c : top)
@@ -228,9 +253,51 @@ Decepticon::identify(const gpusim::KernelTrace &victim_trace,
     }
     obs::gaugeSet("level1.confidence", result.topProbability);
     obs::observe("level1.confidence_hist", result.topProbability);
-    sp.arg("parent", result.pretrainedName);
-    sp.arg("confidence", result.topProbability);
     return result;
+}
+
+std::vector<IdentificationResult>
+Decepticon::identifyBatch(
+    const std::vector<const gpusim::KernelTrace *> &traces,
+    const std::vector<std::function<std::vector<bool>()>> &query_hooks)
+{
+    assert(cnn_ && "trainExtractor must run first");
+    assert(query_hooks.empty() || query_hooks.size() == traces.size());
+
+    auto sp = obs::span("level1.identify_batch", "level1");
+    sp.arg("victims", static_cast<std::uint64_t>(traces.size()));
+    obs::StageTimer stage_timer("classify");
+
+    // Rasterization and the CNN forward pass are pure per victim, so
+    // both fan out on the sched pool (probabilitiesBatch copies the
+    // CNN per chunk). The decision tail — ambiguity handling, query
+    // probing, confidence gauges — mutates shared probe state and
+    // metrics, so it stays serial in queue order; results are
+    // therefore bit-identical to a serial identify() loop at any lane
+    // count (DESIGN §9).
+    std::vector<tensor::Tensor> images(traces.size());
+    sched::parallelFor(traces.size(), 1, [&](std::size_t i) {
+        images[i] = fingerprint::fingerprintImage(
+            *traces[i], cnn_->resolution(),
+            opts_.datasetOptions.cropIrregular);
+    });
+    std::vector<const tensor::Tensor *> image_ptrs;
+    image_ptrs.reserve(images.size());
+    for (const auto &img : images)
+        image_ptrs.push_back(&img);
+    const std::vector<std::vector<double>> probs =
+        fingerprint::probabilitiesBatch(*cnn_, image_ptrs);
+
+    std::vector<IdentificationResult> results;
+    results.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        obs::count("level1.identifies");
+        results.push_back(resolveFromProbabilities(
+            probs[i], query_hooks.empty()
+                          ? std::function<std::vector<bool>()>{}
+                          : query_hooks[i]));
+    }
+    return results;
 }
 
 IdentificationResult

@@ -163,6 +163,20 @@ class Decepticon
         const std::function<std::vector<bool>()> &query_victim = {}) ;
 
     /**
+     * Identify many victims in one batch: rasterization and the CNN
+     * forward passes fan out across the sched pool, the per-victim
+     * decision tail (ambiguity handling, query probing) runs serially
+     * in queue order. results[i] is bit-identical to a serial
+     * identify(*traces[i], query_hooks[i]) call at any lane count.
+     * query_hooks is either empty (no query access for any victim) or
+     * one hook per trace; individual hooks may be null.
+     */
+    std::vector<IdentificationResult> identifyBatch(
+        const std::vector<const gpusim::KernelTrace *> &traces,
+        const std::vector<std::function<std::vector<bool>()>>
+            &query_hooks = {});
+
+    /**
      * Identify from R noisy captures of the same inference (dropped /
      * duplicated / truncated records). The captures are repaired into
      * one consensus trace; the CNN classifies the consensus and every
@@ -216,6 +230,15 @@ class Decepticon
     }
 
   private:
+    /**
+     * The decision tail shared by identify() and identifyBatch():
+     * top-k + ambiguity handling over an already-computed probability
+     * vector, query-probe disambiguation, confidence gauges.
+     */
+    IdentificationResult resolveFromProbabilities(
+        const std::vector<double> &probs,
+        const std::function<std::vector<bool>()> &query_victim);
+
     DecepticonOptions opts_;
     std::unique_ptr<fingerprint::FingerprintCnn> cnn_;
     std::vector<std::string> classNames_;

@@ -113,6 +113,22 @@ class TwoLevelAttack
     /** The underlying level-1 pipeline (valid after prepare()). */
     Decepticon &level1() { return *pipeline_; }
 
+    /**
+     * Downloadable weights of a registered candidate, or nullptr for
+     * an unknown name. Campaign drivers use this to seed level-2
+     * extraction for an identity resolved outside execute() (e.g. a
+     * cached identification).
+     */
+    const transformer::TransformerClassifier *
+    candidateWeights(const std::string &name) const
+    {
+        const auto it = weightsByName_.find(name);
+        return it == weightsByName_.end() ? nullptr : it->second.get();
+    }
+
+    /** The registered candidate pool (identities only). */
+    const zoo::ModelZoo &candidates() const { return candidates_; }
+
   private:
     TwoLevelOptions opts_;
     zoo::ModelZoo candidates_;

@@ -222,4 +222,18 @@ predictBatch(const FingerprintCnn &cnn,
     return out;
 }
 
+std::vector<std::vector<double>>
+probabilitiesBatch(const FingerprintCnn &cnn,
+                   const std::vector<const tensor::Tensor *> &images)
+{
+    std::vector<std::vector<double>> out(images.size());
+    sched::parallelForRange(
+        images.size(), 0, [&](std::size_t begin, std::size_t end) {
+            FingerprintCnn local(cnn); // private forward caches
+            for (std::size_t i = begin; i < end; ++i)
+                out[i] = local.classProbabilities(*images[i]);
+        });
+    return out;
+}
+
 } // namespace decepticon::fingerprint

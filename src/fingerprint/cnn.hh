@@ -97,6 +97,17 @@ std::vector<int>
 predictBatch(const FingerprintCnn &cnn,
              const std::vector<const tensor::Tensor *> &images);
 
+/**
+ * Full softmax probability vector for each image, computed in
+ * parallel on the sched pool under the same per-chunk-copy contract
+ * as predictBatch: out[i] equals a serial classProbabilities(images
+ * [i]) call bit for bit at any thread count. This is the primitive
+ * behind cross-victim batched level-1 classification in campaigns.
+ */
+std::vector<std::vector<double>>
+probabilitiesBatch(const FingerprintCnn &cnn,
+                   const std::vector<const tensor::Tensor *> &images);
+
 } // namespace decepticon::fingerprint
 
 #endif // DECEPTICON_FINGERPRINT_CNN_HH

@@ -1,0 +1,50 @@
+#include "zoo/session.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace decepticon::zoo {
+
+std::vector<VictimSessionSpec>
+sampleSessions(const ModelZoo &zoo, const SessionSamplerOptions &opts,
+               std::uint64_t seed)
+{
+    std::vector<const ModelIdentity *> pool = zoo.pretrained();
+    assert(!pool.empty() && "zoo has no pre-trained identities");
+
+    util::Rng rng(seed);
+    // The popularity ranking is itself random per campaign: shuffle
+    // the lineages once, then bias draws toward the front of the
+    // shuffled order. skew=0 degenerates to a uniform draw; skew->1
+    // concentrates essentially all mass on the first few ranks.
+    rng.shuffle(pool);
+
+    std::vector<VictimSessionSpec> queue;
+    queue.reserve(opts.sessions);
+    for (std::size_t i = 0; i < opts.sessions; ++i) {
+        VictimSessionSpec spec;
+        spec.index = i;
+        // Rank-skewed draw: u^(1/(1-skew)) pushes the uniform variate
+        // toward 0, i.e. toward the popular head of the ranking.
+        const double u = rng.uniform();
+        const double skew = std::min(opts.skewPopularity, 0.999);
+        const double biased =
+            skew <= 0.0 ? u : std::pow(u, 1.0 / (1.0 - skew));
+        std::size_t rank = static_cast<std::size_t>(
+            biased * static_cast<double>(pool.size()));
+        if (rank >= pool.size())
+            rank = pool.size() - 1;
+        spec.lineage = pool[rank];
+        spec.seed = rng.nextU64();
+        spec.captures = opts.capturesPerVictim;
+        spec.blackout = rng.bernoulli(opts.blackoutFraction);
+        spec.traceFaultSeverity = spec.blackout ? 1.0 : opts.faultSeverity;
+        spec.numClasses = opts.numClasses;
+        queue.push_back(spec);
+    }
+    return queue;
+}
+
+} // namespace decepticon::zoo

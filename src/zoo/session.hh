@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Procedural victim-session sampler for campaign runs: expands a
+ * campaign seed into a queue of synthetic black-box "users", each
+ * serving one zoo model. Lineage popularity is skewed (a few public
+ * releases dominate real serving fleets), which is exactly the regime
+ * where a fingerprint result cache pays off.
+ */
+
+#ifndef DECEPTICON_ZOO_SESSION_HH
+#define DECEPTICON_ZOO_SESSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "zoo/zoo.hh"
+
+namespace decepticon::zoo {
+
+/**
+ * One victim session in a campaign queue: which zoo release the
+ * victim serves and how observable it is. The struct stays below the
+ * fault layer, so trace corruption severity is a plain scalar in
+ * [0, 1]; the campaign driver maps it onto a concrete fault spec.
+ */
+struct VictimSessionSpec
+{
+    /** Position in the campaign queue (also the cache clock tick). */
+    std::size_t index = 0;
+    /** The model this session serves (points into the source zoo). */
+    const ModelIdentity *lineage = nullptr;
+    /** Per-victim seed: weights head reset, trace capture, faults. */
+    std::uint64_t seed = 0;
+    /** Noisy captures of the victim's inference the attacker taps. */
+    std::size_t captures = 3;
+    /** Trace corruption severity in [0, 1]; 0 = clean channel. */
+    double traceFaultSeverity = 0.0;
+    /** Every channel dark: the attacker captures nothing usable. */
+    bool blackout = false;
+    /** Output classes of the victim's fine-tuned head. */
+    std::size_t numClasses = 2;
+};
+
+/** Knobs for sampleSessions. */
+struct SessionSamplerOptions
+{
+    /** Queue length. */
+    std::size_t sessions = 64;
+    /** Captures per victim (quorum size for trace repair). */
+    std::size_t capturesPerVictim = 3;
+    /** Fraction of sessions with a total channel blackout. */
+    double blackoutFraction = 0.0;
+    /** Trace corruption severity applied to non-blackout sessions. */
+    double faultSeverity = 0.0;
+    /**
+     * Popularity skew in [0, 1]: 0 draws lineages uniformly, 1 makes
+     * the head of the (seed-shuffled) lineage ranking dominate. The
+     * expected cache hit rate of a campaign rises with this knob.
+     */
+    double skewPopularity = 0.7;
+    /** Classes of each victim's fine-tuned head. */
+    std::size_t numClasses = 2;
+};
+
+/**
+ * Expand (zoo, seed) into a deterministic session queue. All draws
+ * come from one serial Rng in queue order, so the queue is a pure
+ * function of its inputs regardless of thread count. Lineages are
+ * drawn from the zoo's pre-trained identities with popularity rank
+ * skew; per-session seeds are independent.
+ */
+std::vector<VictimSessionSpec>
+sampleSessions(const ModelZoo &zoo, const SessionSamplerOptions &opts,
+               std::uint64_t seed);
+
+} // namespace decepticon::zoo
+
+#endif // DECEPTICON_ZOO_SESSION_HH

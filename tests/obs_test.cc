@@ -27,6 +27,7 @@
 #include "obs/quantile.hh"
 #include "obs/tracer.hh"
 #include "obs/watchdog.hh"
+#include "sched/sched.hh"
 #include "util/rng.hh"
 
 namespace dob = decepticon::obs;
@@ -765,6 +766,148 @@ TEST(ObsFacade, StageTimerFeedsCountersLatencyAndFlightEvents)
     dob::shutdown();
     dob::setClockForTest(nullptr);
     EXPECT_TRUE(dob::flightRecorder().canonicalEvents().empty());
+}
+
+// ---------------------------------------------------------------------
+// Multi-run processes (campaign driver regime)
+// ---------------------------------------------------------------------
+
+// A long-lived process (campaign driver, REPL) runs many attacks back
+// to back against one persistent registry, arming a fresh Watchdog
+// per run. The contract across runs: RATE history (fault, abstain
+// totals) is absorbed by the baseline tick and never re-judged;
+// stages that recovered between runs stay quiet; a stage left
+// permanently open keeps being visible — each fresh dog re-flags it
+// exactly once, never per tick.
+TEST(Watchdog, RearmsCleanlyAcrossSequentialRuns)
+{
+    dob::MetricsRegistry reg;
+
+    // Run 1 ends badly: a stage left open, a fault storm recorded.
+    {
+        dob::Watchdog dog;
+        dog.tick(reg); // baseline
+        reg.add("stage.probe.enter", 4);
+        reg.add("stage.probe.exit", 1);
+        reg.add("fault.capture_attempts", 8);
+        reg.add("fault.captures_corrupted", 8);
+        reg.add("level1.identifies", 4);
+        reg.add("level1.insufficient_evidence", 3);
+        dog.tick(reg);
+        dog.tick(reg);
+        EXPECT_FALSE(dog.report().healthy());
+    }
+
+    // The probe spans drain between runs (the stage recovered).
+    reg.add("stage.probe.exit", 3);
+
+    // Run 2: a fresh dog over the same (dirty) registry. The 100%
+    // historical fault rate and the abstain spike are pre-baseline —
+    // zero deltas — and the recovered stage has no open spans, so a
+    // healthy run stays verdict-clean despite run 1's residue.
+    {
+        dob::Watchdog dog;
+        dog.tick(reg); // baseline absorbs run 1's totals
+        for (int t = 0; t < 4; ++t) {
+            reg.add("stage.classify.enter", 4);
+            reg.add("stage.classify.exit", 4);
+            reg.add("fault.capture_attempts", 10);
+            reg.add("fault.captures_corrupted", 1);
+            reg.add("level1.identifies", 10);
+            reg.add("level1.insufficient_evidence", 1);
+            EXPECT_TRUE(dog.tick(reg).empty()) << "tick " << t;
+        }
+        EXPECT_TRUE(dog.report().healthy())
+            << "run 1's residue must not leak into run 2's verdict";
+    }
+
+    // Run 3: the re-armed detector still has teeth — a stage frozen
+    // during THIS run is flagged exactly once.
+    {
+        dob::Watchdog dog;
+        dog.tick(reg);
+        reg.add("stage.rasterize.enter", 2);
+        dog.tick(reg);
+        const auto findings = dog.tick(reg);
+        ASSERT_EQ(findings.size(), 1u);
+        EXPECT_EQ(findings[0].kind, "stall");
+        EXPECT_EQ(findings[0].subject, "rasterize");
+        EXPECT_TRUE(dog.tick(reg).empty()) << "flag once, not per tick";
+    }
+
+    // Run 4: the rasterize spans never closed. A persistent stall is
+    // not silently forgiven — the next run's dog re-flags it, once.
+    {
+        dob::Watchdog dog;
+        dog.tick(reg);
+        dog.tick(reg);
+        const auto findings = dog.tick(reg);
+        ASSERT_EQ(findings.size(), 1u);
+        EXPECT_EQ(findings[0].kind, "stall");
+        EXPECT_EQ(findings[0].subject, "rasterize");
+        EXPECT_TRUE(dog.tick(reg).empty());
+        EXPECT_TRUE(dog.tick(reg).empty());
+    }
+}
+
+// Campaign rollups call reset() + republish on the shared registry
+// while sched workers are still observing (the flush happens at batch
+// boundaries, worker spans may straddle them). The registry guarantees
+// internal consistency — no torn histograms, no lost republished
+// values — which the TSan `-L sched` gate checks for data races.
+TEST(MetricsRegistry, ResetRepublishUnderConcurrentObserve)
+{
+    namespace sched = decepticon::sched;
+    struct PoolGuard
+    {
+        ~PoolGuard() { sched::setThreads(0); }
+    } guard;
+    sched::setThreads(4);
+
+    dob::MetricsRegistry reg;
+    constexpr std::size_t kTasks = 64;
+    // Grain 1: every index is its own pool job. Index 0 repeatedly
+    // resets and republishes the rollup while the rest hammer the
+    // observe paths.
+    sched::parallelFor(kTasks, 1, [&reg](std::size_t i) {
+        if (i == 0) {
+            for (int round = 0; round < 50; ++round) {
+                reg.reset();
+                reg.setGauge("campaign.victims_per_sec", 42.0);
+                reg.add("campaign.sessions", 1);
+                std::ostringstream oss;
+                reg.exportJson(oss);
+                EXPECT_FALSE(oss.str().empty());
+            }
+            return;
+        }
+        for (int round = 0; round < 50; ++round) {
+            reg.add("level1.identifies");
+            reg.observe("campaign.time_to_clone",
+                        static_cast<double>(i * round), 0.0, 1e6, 8);
+            reg.observeLatency("stage.classify.micros",
+                               static_cast<double>(round));
+            reg.setGauge("level1.confidence", 0.5);
+        }
+    });
+
+    // The storm's interleaving is unspecified; what must hold is that
+    // the registry comes back deterministic once quiescent.
+    reg.reset();
+    reg.add("campaign.sessions", 3);
+    reg.setGauge("campaign.cache.hit_rate", 0.75);
+    reg.observe("campaign.time_to_clone", 10.0, 0.0, 100.0, 4);
+    EXPECT_EQ(reg.counter("campaign.sessions"), 3u);
+    EXPECT_DOUBLE_EQ(reg.gauge("campaign.cache.hit_rate"), 0.75);
+    const auto h = reg.histogram("campaign.time_to_clone");
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->total(), 1u);
+
+    std::ostringstream oss;
+    reg.exportJson(oss);
+    dob::json::Value v;
+    std::string err;
+    ASSERT_TRUE(dob::json::parse(oss.str(), v, &err)) << err;
 }
 
 } // namespace
