@@ -11,9 +11,9 @@ ending ``.p99_micros`` (exported by the obs v2 StageTimer
 histograms); a candidate more than ``threshold`` (default 15%)
 slower than the baseline is a regression and the script exits 1 —
 the verify pipeline gates on that. Throughput gauges ending
-``.victims_per_sec`` (the campaign engine) gate in the opposite
-direction: a candidate more than ``threshold`` *below* the baseline
-fails. Wall-clock gauges only: cpu_time
+``.victims_per_sec`` (the campaign engine) or ``.lookups_per_sec``
+(the fingerprint index) gate in the opposite direction: a candidate
+more than ``threshold`` *below* the baseline fails. Wall-clock gauges only: cpu_time
 aggregates scheduler lanes and misreports threaded benchmarks.
 Gauges present in only one snapshot (new or retired benchmarks) are
 reported but never fail the run, so adding a benchmark does not
@@ -95,13 +95,15 @@ def gauge_direction(name):
     "lower": benchmark wall clocks plus per-stage p99 latencies (one
     log-histogram bucket is ~9%, so a >15% p99 move is at least two
     buckets — real, not quantization noise). "higher": throughput
-    gauges (campaign victims/sec), where a drop below the threshold
-    is the regression."""
+    gauges (campaign victims/sec, fingerprint-index lookups/sec),
+    where a drop below the threshold is the regression."""
     if name.startswith("bench.") and name.endswith(".real_time"):
         return "lower"
     if name.endswith(".p99_micros"):
         return "lower"
     if name.endswith(".victims_per_sec"):
+        return "higher"
+    if name.endswith(".lookups_per_sec"):
         return "higher"
     return None
 

@@ -11,7 +11,8 @@
  *      pure per session, fans out on src/sched;
  *   S2 serial cache consult in queue order;
  *   S3 batched level-1 over the miss/stale sessions
- *      (Decepticon::identifyBatch: parallel rasterize + CNN, serial
+ *      (Decepticon::identifyBatch: parallel rasterize + CNN — or
+ *      parallel embed + indexed shortlist on large zoos — serial
  *      decision tail);
  *   S4 serial blackout verdicts (identifyFused abstains honestly);
  *   S5 serial cache update in queue order;

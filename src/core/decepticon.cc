@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "fingerprint/index/embedding.hh"
 #include "gpusim/trace_generator.hh"
 #include "obs/obs.hh"
 #include "sched/sched.hh"
@@ -21,6 +22,11 @@ Decepticon::Decepticon(const DecepticonOptions &opts)
 double
 Decepticon::trainExtractor(const zoo::ModelZoo &candidate_pool)
 {
+    if (opts_.indexZooThreshold > 0 &&
+        candidate_pool.pretrainedCount() >= opts_.indexZooThreshold)
+        return trainIndexed(candidate_pool);
+    index_.reset();
+
     auto sp = obs::span("level1.train_extractor", "level1");
     fingerprint::DatasetOptions ds_opts = opts_.datasetOptions;
     ds_opts.seed = opts_.seed;
@@ -167,25 +173,141 @@ Decepticon::trainExtractor(const zoo::ModelZoo &candidate_pool)
     return cnn_accuracy;
 }
 
+double
+Decepticon::trainIndexed(const zoo::ModelZoo &candidate_pool)
+{
+    auto sp = obs::span("level1.train_index", "level1");
+
+    // Indexed mode replaces the CNN stack wholesale; stale exhaustive
+    // state must not leak across retrains.
+    cnn_.reset();
+    fusion_.reset();
+    for (auto &clf : channelClassifiers_)
+        clf.reset();
+    seqPredictors_.clear();
+
+    classNames_ = candidate_pool.lineageNames();
+    assert(!classNames_.empty());
+    classProfiles_.clear();
+    classProfiles_.reserve(classNames_.size());
+    for (const auto &name : classNames_) {
+        const zoo::ModelIdentity *m = candidate_pool.byName(name);
+        assert(m != nullptr);
+        classProfiles_.push_back(m->vocabProfile);
+    }
+    const std::size_t num_classes = classNames_.size();
+    const std::size_t per_class = opts_.indexOptions.profilesPerLineage;
+    sp.arg("classes", static_cast<std::uint64_t>(num_classes));
+
+    // Per-run seeds are drawn serially in (class, profile) order (the
+    // §9 serial-schedule rule); trace generation and embedding are
+    // pure per job and fill private slots in parallel. The last run
+    // per class is held out for the accuracy estimate.
+    struct ProfileJob
+    {
+        const zoo::ModelIdentity *model;
+        std::uint64_t runSeed;
+    };
+    std::vector<ProfileJob> ref_jobs;
+    std::vector<ProfileJob> held_jobs;
+    ref_jobs.reserve(num_classes * per_class);
+    held_jobs.reserve(num_classes);
+    util::Rng trace_rng(opts_.seed ^ 0x1d9e55ULL);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        const zoo::ModelIdentity *m =
+            candidate_pool.byName(classNames_[c]);
+        for (std::size_t p = 0; p < per_class; ++p)
+            ref_jobs.push_back({m, trace_rng.nextU64()});
+        held_jobs.push_back({m, trace_rng.nextU64()});
+    }
+
+    std::vector<std::vector<float>> ref_embs(ref_jobs.size());
+    sched::parallelFor(ref_jobs.size(), 1, [&](std::size_t i) {
+        const gpusim::TraceGenerator gen(ref_jobs[i].model->signature);
+        ref_embs[i] = fingerprint::traceEmbedding(
+            gen.generate(ref_jobs[i].model->arch, ref_jobs[i].runSeed));
+    });
+    std::vector<std::size_t> ref_class(ref_jobs.size());
+    for (std::size_t i = 0; i < ref_jobs.size(); ++i)
+        ref_class[i] = i / per_class;
+
+    index_ = std::make_unique<fingerprint::FingerprintIndex>(
+        opts_.indexOptions);
+    index_->build(std::move(ref_embs), std::move(ref_class),
+                  num_classes);
+    obs::gaugeSet("zooindex.classes",
+                  static_cast<double>(num_classes));
+    obs::gaugeSet("zooindex.hash_bits",
+                  static_cast<double>(index_->hashBits()));
+    obs::gaugeSet("zooindex.tables",
+                  static_cast<double>(index_->tableCount()));
+
+    // Held-out accuracy: one unseen profiling run per lineage.
+    std::vector<std::size_t> preds(held_jobs.size());
+    sched::parallelFor(held_jobs.size(), 1, [&](std::size_t i) {
+        const gpusim::TraceGenerator gen(held_jobs[i].model->signature);
+        preds[i] = index_->classify(fingerprint::traceEmbedding(
+            gen.generate(held_jobs[i].model->arch,
+                         held_jobs[i].runSeed)));
+    });
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == i)
+            ++correct;
+    }
+    const double accuracy = static_cast<double>(correct) /
+                            static_cast<double>(preds.size());
+    sp.arg("accuracy", accuracy);
+    obs::gaugeSet("zooindex.heldout_accuracy", accuracy);
+    return accuracy;
+}
+
+void
+Decepticon::recordIndexStats(const fingerprint::IndexLookupStats &stats)
+{
+    obs::count("zooindex.lookups");
+    obs::observe("zooindex.shortlist_hist",
+                 static_cast<double>(stats.shortlistClasses));
+    obs::gaugeSet("zooindex.shortlist_classes",
+                  static_cast<double>(stats.shortlistClasses));
+    obs::gaugeSet("zooindex.bucket_probes",
+                  static_cast<double>(stats.bucketProbes));
+    if (stats.exhaustiveFallback)
+        obs::count("zooindex.exhaustive_fallbacks");
+}
+
 IdentificationResult
 Decepticon::identify(const gpusim::KernelTrace &victim_trace,
                      const std::function<std::vector<bool>()> &query_victim)
 {
-    assert(cnn_ && "trainExtractor must run first");
+    assert((cnn_ || index_) && "trainExtractor must run first");
 
     auto sp = obs::span("level1.identify", "level1");
     obs::count("level1.identifies");
     obs::StageTimer stage_timer("classify");
 
-    auto raster_span = obs::span("level1.rasterize", "level1");
-    const tensor::Tensor image = fingerprint::fingerprintImage(
-        victim_trace, cnn_->resolution(),
-        opts_.datasetOptions.cropIrregular);
-    raster_span.end();
+    std::vector<double> probs;
+    if (index_) {
+        auto lookup_span = obs::span("level1.index_lookup", "level1");
+        const std::vector<float> emb =
+            fingerprint::traceEmbedding(victim_trace);
+        fingerprint::IndexLookupStats stats;
+        const std::vector<std::size_t> candidates =
+            index_->shortlist(emb, &stats);
+        probs = index_->scores(emb, candidates);
+        recordIndexStats(stats);
+        lookup_span.end();
+    } else {
+        auto raster_span = obs::span("level1.rasterize", "level1");
+        const tensor::Tensor image = fingerprint::fingerprintImage(
+            victim_trace, cnn_->resolution(),
+            opts_.datasetOptions.cropIrregular);
+        raster_span.end();
 
-    auto cnn_span = obs::span("level1.cnn_classify", "level1");
-    const std::vector<double> probs = cnn_->classProbabilities(image);
-    cnn_span.end();
+        auto cnn_span = obs::span("level1.cnn_classify", "level1");
+        probs = cnn_->classProbabilities(image);
+        cnn_span.end();
+    }
 
     IdentificationResult result =
         resolveFromProbabilities(probs, query_victim);
@@ -204,14 +326,26 @@ Decepticon::resolveFromProbabilities(
     // Top-k by probability, descending, index-stable on ties — the
     // same ordering FingerprintCnn::topK produces, derived from the
     // already-computed probability vector so batch callers pay one
-    // forward pass per victim.
+    // forward pass per victim. partial_sort under the total order
+    // (prob desc, index asc) selects exactly the prefix a stable full
+    // sort would, at O(N log k) — the decision tail must not become
+    // the linear term the index just removed (a 4096-class sort per
+    // lookup would).
     std::vector<int> top(probs.size());
     std::iota(top.begin(), top.end(), 0);
-    std::stable_sort(top.begin(), top.end(), [&](int a, int b) {
-        return probs[static_cast<std::size_t>(a)] >
-               probs[static_cast<std::size_t>(b)];
-    });
-    top.resize(std::min(opts_.topK, top.size()));
+    const std::size_t k = std::min(opts_.topK, top.size());
+    std::partial_sort(top.begin(),
+                      top.begin() + static_cast<std::ptrdiff_t>(k),
+                      top.end(), [&](int a, int b) {
+                          const double pa =
+                              probs[static_cast<std::size_t>(a)];
+                          const double pb =
+                              probs[static_cast<std::size_t>(b)];
+                          if (pa != pb)
+                              return pa > pb;
+                          return a < b;
+                      });
+    top.resize(k);
     assert(!top.empty());
 
     for (int c : top)
@@ -261,12 +395,40 @@ Decepticon::identifyBatch(
     const std::vector<const gpusim::KernelTrace *> &traces,
     const std::vector<std::function<std::vector<bool>()>> &query_hooks)
 {
-    assert(cnn_ && "trainExtractor must run first");
+    assert((cnn_ || index_) && "trainExtractor must run first");
     assert(query_hooks.empty() || query_hooks.size() == traces.size());
 
     auto sp = obs::span("level1.identify_batch", "level1");
     sp.arg("victims", static_cast<std::uint64_t>(traces.size()));
     obs::StageTimer stage_timer("classify");
+
+    if (index_) {
+        // Indexed path: embedding, shortlist, and re-rank are const
+        // lookups, pure per victim, so they fill private slots in
+        // parallel. The shared decision tail and the obs accounting
+        // stay serial in queue order — results are bit-identical to a
+        // serial identify() loop at any lane count (DESIGN §9).
+        std::vector<std::vector<double>> iprobs(traces.size());
+        std::vector<fingerprint::IndexLookupStats> stats(traces.size());
+        sched::parallelFor(traces.size(), 1, [&](std::size_t i) {
+            const std::vector<float> emb =
+                fingerprint::traceEmbedding(*traces[i]);
+            const std::vector<std::size_t> candidates =
+                index_->shortlist(emb, &stats[i]);
+            iprobs[i] = index_->scores(emb, candidates);
+        });
+        std::vector<IdentificationResult> results;
+        results.reserve(traces.size());
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            obs::count("level1.identifies");
+            recordIndexStats(stats[i]);
+            results.push_back(resolveFromProbabilities(
+                iprobs[i], query_hooks.empty()
+                               ? std::function<std::vector<bool>()>{}
+                               : query_hooks[i]));
+        }
+        return results;
+    }
 
     // Rasterization and the CNN forward pass are pure per victim, so
     // both fan out on the sched pool (probabilitiesBatch copies the
@@ -335,6 +497,8 @@ Decepticon::identifyFused(
     const ResilientIdentifyOptions &ropts,
     const std::function<std::vector<bool>()> &query_victim)
 {
+    if (index_)
+        return identifyFusedIndexed(capture, ropts, query_victim);
     assert(cnn_ && "trainExtractor must run first");
 
     auto sp = obs::span("level1.identify_fused", "level1");
@@ -686,6 +850,130 @@ Decepticon::identifyFused(
         return result;
     }
 
+    result.insufficientEvidence = true;
+    result.pretrainedName.clear();
+    result.topProbability = 0.0;
+    obs::count("level1.insufficient_evidence");
+    obs::flightRecord(obs::FlightEventKind::Verdict, "classify",
+                      "insufficient");
+    obs::flightNoteError();
+    sp.arg("verdict", "insufficient");
+    return result;
+}
+
+IdentificationResult
+Decepticon::identifyFusedIndexed(
+    const MultiChannelCapture &capture,
+    const ResilientIdentifyOptions &ropts,
+    const std::function<std::vector<bool>()> &query_victim)
+{
+    auto sp = obs::span("level1.identify_fused", "level1");
+    obs::count("level1.identifies");
+    obs::StageTimer stage_timer("classify");
+
+    IdentificationResult result;
+    result.capturesUsed = capture.timestampCaptures.size() +
+                          capture.powerCaptures.size() +
+                          capture.thermalCaptures.size() +
+                          capture.profilerCaptures.size();
+    result.quorumAgreement = 0.0;
+    result.channelsAvailable = 0;
+    sp.arg("captures", static_cast<std::uint64_t>(result.capturesUsed));
+
+    // Only the timestamp channel can vote in indexed mode: a
+    // 5,000-lineage pool would need 5,000-way side-channel MLPs for
+    // marginal evidence, so the index trains none. The channel
+    // accounting keeps the same shape as the exhaustive path.
+    std::vector<const gpusim::KernelTrace *> ts_caps;
+    for (const auto &t : capture.timestampCaptures) {
+        if (!t.records.empty())
+            ts_caps.push_back(&t);
+    }
+    const bool usable[fault::kNumChannels] = {!ts_caps.empty(), false,
+                                              false, false};
+    for (std::size_t c = 0; c < fault::kNumChannels; ++c) {
+        const char *name =
+            fault::channelName(static_cast<fault::Channel>(c));
+        obs::count((std::string("level1.channel.") + name +
+                    (usable[c] ? ".available" : ".dark"))
+                       .c_str());
+        if (usable[c]) {
+            ++result.channelsAvailable;
+            result.channelsUsed.emplace_back(name);
+        }
+    }
+    obs::gaugeSet("level1.channels_available",
+                  static_cast<double>(result.channelsAvailable));
+    sp.arg("channels",
+           static_cast<std::uint64_t>(result.channelsAvailable));
+
+    if (result.channelsAvailable == 0) {
+        // Total blackout: say so instead of guessing.
+        result.insufficientEvidence = true;
+        obs::count("level1.insufficient_evidence");
+        obs::flightRecord(obs::FlightEventKind::Verdict, "classify",
+                          "insufficient_blackout");
+        obs::flightNoteError();
+        sp.arg("verdict", "insufficient");
+        return result;
+    }
+
+    std::vector<gpusim::KernelTrace> clean;
+    clean.reserve(ts_caps.size());
+    for (const auto *t : ts_caps)
+        clean.push_back(*t);
+    trace::RepairReport report;
+    const gpusim::KernelTrace repaired =
+        trace::repairTraces(clean, &report);
+
+    // The consensus trace goes through the full indexed single-trace
+    // path (shortlist, re-rank, ambiguity handling, query probing).
+    const IdentificationResult base = identify(repaired, query_victim);
+    result.pretrainedName = base.pretrainedName;
+    result.topProbability = base.topProbability;
+    result.candidates = base.candidates;
+    result.usedQueryProbes = base.usedQueryProbes;
+
+    // Index quorum: the consensus trace and every raw capture each
+    // cast one shortlist-classification vote. Lookups are const and
+    // pure per voter, so they fan out; the tally is a commutative
+    // integer sum and therefore scheduling-independent.
+    std::vector<const gpusim::KernelTrace *> voters;
+    voters.push_back(&repaired);
+    for (const auto &cap : clean)
+        voters.push_back(&cap);
+    std::vector<std::size_t> voter_class(voters.size());
+    sched::parallelFor(voters.size(), 1, [&](std::size_t i) {
+        voter_class[i] =
+            index_->classify(fingerprint::traceEmbedding(*voters[i]));
+    });
+    std::vector<std::size_t> votes(classNames_.size(), 0);
+    for (std::size_t v : voter_class)
+        ++votes[v];
+    const auto win = std::max_element(votes.begin(), votes.end());
+    const double share = static_cast<double>(*win) /
+                         static_cast<double>(voters.size());
+    const auto winner =
+        static_cast<std::size_t>(win - votes.begin());
+    result.quorumAgreement = share;
+
+    if (result.topProbability >= ropts.cnnConfidenceThreshold &&
+        share >= ropts.quorumThreshold) {
+        // Confident lookup: adopt the quorum winner unless query
+        // probes already disambiguated (stronger, input-dependent
+        // evidence).
+        if (!result.usedQueryProbes)
+            result.pretrainedName = classNames_[winner];
+        obs::gaugeSet("level1.quorum_agreement",
+                      result.quorumAgreement);
+        obs::flightRecord(obs::FlightEventKind::Verdict, "classify",
+                          "timestamp", result.quorumAgreement);
+        sp.arg("verdict", "timestamp");
+        return result;
+    }
+
+    // No kNN / sequence-predictor tiers behind the index — when the
+    // lookup is unconfident or the quorum splits, abstain honestly.
     result.insufficientEvidence = true;
     result.pretrainedName.clear();
     result.topProbability = 0.0;

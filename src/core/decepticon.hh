@@ -22,6 +22,7 @@
 #include "fault/channel.hh"
 #include "fingerprint/cnn.hh"
 #include "fingerprint/dataset.hh"
+#include "fingerprint/index/lsh.hh"
 #include "fingerprint/knn.hh"
 #include "fingerprint/seq_predictor.hh"
 #include "gpusim/emission.hh"
@@ -57,6 +58,16 @@ struct DecepticonOptions
      * timestamp channel only (legacy behaviour, lower training cost).
      */
     bool trainChannelClassifiers = true;
+    /**
+     * Zoo size at which level-1 switches from the exhaustive CNN
+     * classifier to the sublinear fingerprint index (DESIGN.md §15):
+     * pools with at least this many pre-trained lineages train the
+     * embedding/LSH index instead of the CNN stack. 0 disables the
+     * indexed path entirely (always exhaustive).
+     */
+    std::size_t indexZooThreshold = 256;
+    /** Geometry/seeding of the fingerprint index (indexed path). */
+    fingerprint::IndexOptions indexOptions;
 };
 
 /**
@@ -147,6 +158,12 @@ class Decepticon
      * Train the pre-trained model extractor over the candidate pool
      * (the attacker profiles every candidate on his own GPU).
      * Returns held-out (80/20) classification accuracy.
+     *
+     * Pools with indexZooThreshold or more pre-trained lineages train
+     * the sublinear fingerprint index instead of the CNN stack; every
+     * identify entry point then routes through the indexed path. The
+     * decision tail (top-k, ambiguity handling, query probing) is
+     * shared between the two paths bit for bit.
      */
     double trainExtractor(const zoo::ModelZoo &candidate_pool);
 
@@ -213,8 +230,15 @@ class Decepticon
         const ResilientIdentifyOptions &ropts = {},
         const std::function<std::vector<bool>()> &query_victim = {});
 
-    /** The trained CNN (valid after trainExtractor). */
+    /** The trained CNN (valid after trainExtractor on the exhaustive
+     *  path; never trained on the indexed path). */
     fingerprint::FingerprintCnn &cnn() { return *cnn_; }
+
+    /** The fingerprint index, or nullptr on the exhaustive path. */
+    const fingerprint::FingerprintIndex *index() const
+    {
+        return index_.get();
+    }
 
     /** The fusion engine, or nullptr when channel classifiers were
      *  not trained. Exposes the learned reliability priors. */
@@ -239,8 +263,24 @@ class Decepticon
         const std::vector<double> &probs,
         const std::function<std::vector<bool>()> &query_victim);
 
+    /** trainExtractor body for pools at/above indexZooThreshold. */
+    double trainIndexed(const zoo::ModelZoo &candidate_pool);
+
+    /** identifyFused when the index owns level-1 (timestamp channel
+     *  only — indexed mode trains no side-channel classifiers). */
+    IdentificationResult identifyFusedIndexed(
+        const MultiChannelCapture &capture,
+        const ResilientIdentifyOptions &ropts,
+        const std::function<std::vector<bool>()> &query_victim);
+
+    /** Surface one lookup's shortlist/probe accounting via obs. */
+    static void recordIndexStats(
+        const fingerprint::IndexLookupStats &stats);
+
     DecepticonOptions opts_;
     std::unique_ptr<fingerprint::FingerprintCnn> cnn_;
+    /** Sublinear level-1 (valid after trainExtractor on large pools). */
+    std::unique_ptr<fingerprint::FingerprintIndex> index_;
     std::vector<std::string> classNames_;
     std::vector<zoo::VocabularyProfile> classProfiles_;
     std::vector<zoo::QueryProbe> probes_;

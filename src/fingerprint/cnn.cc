@@ -167,6 +167,39 @@ FingerprintCnn::classProbabilities(const tensor::Tensor &image)
     return out;
 }
 
+std::vector<std::vector<double>>
+FingerprintCnn::classProbabilitiesBatch(
+    const std::vector<const tensor::Tensor *> &images)
+{
+    // Small fixed sub-batch: big enough that fc GEMMs amortize packing
+    // and the scratch slabs stay warm, small enough that activation
+    // footprint stays bounded at campaign batch sizes.
+    constexpr std::size_t kSubBatch = 8;
+    std::vector<std::vector<double>> out(images.size());
+    for (std::size_t start = 0; start < images.size();
+         start += kSubBatch) {
+        const std::size_t end =
+            std::min(start + kSubBatch, images.size());
+        const std::vector<const tensor::Tensor *> sub(
+            images.begin() + static_cast<std::ptrdiff_t>(start),
+            images.begin() + static_cast<std::ptrdiff_t>(end));
+        // One arena frame per sub-batch: every buffer the forward
+        // pass bump-allocates is reclaimed (not freed) here, so the
+        // next sub-batch reuses the identical hot pages.
+        tensor::kernels::ScratchArena::Frame frame(
+            tensor::kernels::scratch());
+        tensor::Tensor logits = forward(toBatchTensor(sub));
+        tensor::Tensor probs = tensor::softmaxRows(logits);
+        for (std::size_t i = start; i < end; ++i) {
+            std::vector<double> row(numClasses_);
+            for (std::size_t c = 0; c < numClasses_; ++c)
+                row[c] = probs[(i - start) * numClasses_ + c];
+            out[i] = std::move(row);
+        }
+    }
+    return out;
+}
+
 int
 FingerprintCnn::predict(const tensor::Tensor &image)
 {
@@ -216,8 +249,15 @@ predictBatch(const FingerprintCnn &cnn,
     sched::parallelForRange(
         images.size(), 0, [&](std::size_t begin, std::size_t end) {
             FingerprintCnn local(cnn); // private forward caches
-            for (std::size_t i = begin; i < end; ++i)
-                out[i] = local.predict(*images[i]);
+            const std::vector<const tensor::Tensor *> chunk(
+                images.begin() + static_cast<std::ptrdiff_t>(begin),
+                images.begin() + static_cast<std::ptrdiff_t>(end));
+            const auto rows = local.classProbabilitiesBatch(chunk);
+            for (std::size_t i = begin; i < end; ++i) {
+                const auto &p = rows[i - begin];
+                out[i] = static_cast<int>(
+                    std::max_element(p.begin(), p.end()) - p.begin());
+            }
         });
     return out;
 }
@@ -230,8 +270,12 @@ probabilitiesBatch(const FingerprintCnn &cnn,
     sched::parallelForRange(
         images.size(), 0, [&](std::size_t begin, std::size_t end) {
             FingerprintCnn local(cnn); // private forward caches
+            const std::vector<const tensor::Tensor *> chunk(
+                images.begin() + static_cast<std::ptrdiff_t>(begin),
+                images.begin() + static_cast<std::ptrdiff_t>(end));
+            auto rows = local.classProbabilitiesBatch(chunk);
             for (std::size_t i = begin; i < end; ++i)
-                out[i] = local.classProbabilities(*images[i]);
+                out[i] = std::move(rows[i - begin]);
         });
     return out;
 }

@@ -49,6 +49,18 @@ class FingerprintCnn
     /** Softmax class probabilities for one image. */
     std::vector<double> classProbabilities(const tensor::Tensor &image);
 
+    /**
+     * Softmax class probabilities for many images, forwarded in
+     * sub-batches under one ScratchArena frame each, so conv/GEMM
+     * packing panels reuse the same hot scratch slabs across the whole
+     * run instead of re-growing per image. out[i] equals a serial
+     * classProbabilities(*images[i]) bit for bit: every per-sample
+     * value is accumulated in the same order regardless of how many
+     * rows share the batch.
+     */
+    std::vector<std::vector<double>> classProbabilitiesBatch(
+        const std::vector<const tensor::Tensor *> &images);
+
     /** Argmax class for one image. */
     int predict(const tensor::Tensor &image);
 

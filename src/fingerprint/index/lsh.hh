@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Sublinear fingerprint lookup: a multi-table signed-random-projection
+ * LSH over compact trace embeddings, with exact re-ranking on the
+ * bucket-union shortlist. Replaces the exhaustive score-every-lineage
+ * scan of level-1 once the zoo outgrows the CNN classifier
+ * (DESIGN.md §15).
+ *
+ * Determinism contract: every projection is derived via
+ * util::Rng::split(table), bucket tables are sorted vectors probed by
+ * binary search, and the shortlist is returned as a sorted, deduped
+ * class-id list — a pure function of (options, reference embeddings,
+ * query). All lookup methods are const and touch no global state, so
+ * campaign batches score shortlists from parallel sched workers.
+ */
+
+#ifndef DECEPTICON_FINGERPRINT_INDEX_LSH_HH
+#define DECEPTICON_FINGERPRINT_INDEX_LSH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace decepticon::fingerprint {
+
+/** Geometry and seeding of the fingerprint index. */
+struct IndexOptions
+{
+    /** Independent hash tables; each adds one recall chance. */
+    std::size_t tables = 8;
+    /**
+     * Sign bits per table key. 0 = auto: ~log2(reference count),
+     * clamped to [4, 16], so expected bucket load stays O(1) as the
+     * zoo grows.
+     */
+    std::size_t hashBits = 0;
+    /** Reference profiling runs embedded per lineage. */
+    std::size_t profilesPerLineage = 2;
+    /**
+     * Sharpness of the shortlist softmax that converts re-rank
+     * distances into the probability vector consumed by the shared
+     * level-1 decision tail.
+     */
+    double softmaxSharpness = 48.0;
+    /** Root seed of the per-table projection streams. */
+    std::uint64_t seed = 0x1d5eedULL;
+};
+
+/** Per-lookup accounting surfaced through src/obs by the caller. */
+struct IndexLookupStats
+{
+    /** Distinct candidate classes in the shortlist. */
+    std::size_t shortlistClasses = 0;
+    /** Reference entries gathered across all table probes. */
+    std::size_t bucketProbes = 0;
+    /** Every table bucket was empty: exhaustive scan taken instead. */
+    bool exhaustiveFallback = false;
+};
+
+/**
+ * The index itself: reference embeddings labeled by class (lineage),
+ * hashed into `tables` sorted bucket tables.
+ */
+class FingerprintIndex
+{
+  public:
+    explicit FingerprintIndex(const IndexOptions &opts = {});
+
+    /**
+     * Build from reference embeddings. ref_class[i] labels
+     * ref_embeddings[i]; classes must cover [0, num_classes).
+     */
+    void build(std::vector<std::vector<float>> ref_embeddings,
+               std::vector<std::size_t> ref_class,
+               std::size_t num_classes);
+
+    std::size_t numClasses() const { return numClasses_; }
+    std::size_t referenceCount() const { return refs_.size(); }
+    std::size_t tableCount() const { return opts_.tables; }
+    std::size_t hashBits() const { return bits_; }
+
+    /**
+     * Candidate classes for a query embedding: the union of the
+     * query's bucket across every table, deduped and sorted ascending.
+     * Falls back to every class (stats->exhaustiveFallback) when all
+     * probed buckets are empty, so a lookup never returns nothing.
+     */
+    std::vector<std::size_t>
+    shortlist(const std::vector<float> &embedding,
+              IndexLookupStats *stats = nullptr) const;
+
+    /** Every class id — the exhaustive-scan candidate list. */
+    std::vector<std::size_t> allClasses() const;
+
+    /**
+     * Exact re-rank: full-size probability vector over all classes,
+     * softmax of -sharpness * (min reference distance) over the
+     * candidates, exact zero elsewhere. Feeding this to the shared
+     * decision tail keeps the tail bit-identical between the indexed
+     * and exhaustive paths — only the candidate set differs.
+     */
+    std::vector<double>
+    scores(const std::vector<float> &embedding,
+           const std::vector<std::size_t> &candidates) const;
+
+    /** Argmax class over the shortlist (ties to the lowest id). */
+    std::size_t classify(const std::vector<float> &embedding,
+                         IndexLookupStats *stats = nullptr) const;
+
+  private:
+    std::uint64_t hashOf(std::size_t table,
+                         const std::vector<float> &embedding) const;
+
+    IndexOptions opts_;
+    std::size_t numClasses_ = 0;
+    std::size_t bits_ = 0;
+    std::size_t dim_ = 0;
+    /** Reference embeddings, grouped by class. */
+    std::vector<std::vector<float>> refs_;
+    /**
+     * Mean reference embedding, subtracted before hashing. Trace
+     * embeddings are all-nonnegative (count/duration fractions), so
+     * uncentered they crowd one orthant and every signed projection
+     * bit degenerates to a constant — centering is what makes the
+     * hash family discriminative.
+     */
+    std::vector<float> center_;
+    std::vector<std::size_t> refClass_;
+    /** refs_ of class c live in [classOffset_[c], classOffset_[c+1]). */
+    std::vector<std::size_t> classOffset_;
+    /** Per table: bits_ stacked projection rows of length dim_. */
+    std::vector<std::vector<float>> projections_;
+    /** Per table: (hash, reference index), sorted for binary search.
+     *  Sorted vectors instead of a hash map keep iteration order a
+     *  non-question (lint R3) and probes cache-friendly. */
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>>
+        buckets_;
+};
+
+} // namespace decepticon::fingerprint
+
+#endif // DECEPTICON_FINGERPRINT_INDEX_LSH_HH

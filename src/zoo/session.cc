@@ -7,19 +7,80 @@
 
 namespace decepticon::zoo {
 
+namespace {
+
+/**
+ * Seed-keyed pseudorandom permutation over [0, n): a 4-round Feistel
+ * network on the smallest even-bit domain covering n, cycle-walked
+ * back into range. Replaces shuffling a materialized identity vector
+ * so the popularity ranking costs O(1) per draw instead of O(zoo) up
+ * front — at 5,000+ identities the queue build must not touch
+ * unsampled identities at all.
+ */
+class RankPermutation
+{
+  public:
+    RankPermutation(std::uint64_t seed, std::size_t n) : n_(n)
+    {
+        assert(n > 0);
+        while ((std::uint64_t{1} << (2 * half_)) < n)
+            ++half_;
+        mask_ = (std::uint64_t{1} << half_) - 1;
+        util::SplitMix64 sm(seed);
+        for (auto &k : keys_)
+            k = sm.next();
+    }
+
+    std::size_t
+    operator()(std::size_t rank) const
+    {
+        // Cycle-walk: the domain is < 4n, so the expected number of
+        // encryptions per draw is below 4.
+        std::uint64_t x = rank;
+        do {
+            x = encrypt(x);
+        } while (x >= n_);
+        return static_cast<std::size_t>(x);
+    }
+
+  private:
+    std::uint64_t
+    encrypt(std::uint64_t x) const
+    {
+        std::uint64_t l = x >> half_;
+        std::uint64_t r = x & mask_;
+        for (const std::uint64_t k : keys_) {
+            const std::uint64_t f =
+                util::SplitMix64(r ^ k).next() & mask_;
+            const std::uint64_t next_l = r;
+            r = l ^ f;
+            l = next_l;
+        }
+        return (l << half_) | r;
+    }
+
+    std::uint64_t n_;
+    std::uint64_t half_ = 1;
+    std::uint64_t mask_ = 0;
+    std::uint64_t keys_[4] = {};
+};
+
+} // anonymous namespace
+
 std::vector<VictimSessionSpec>
 sampleSessions(const ModelZoo &zoo, const SessionSamplerOptions &opts,
                std::uint64_t seed)
 {
-    std::vector<const ModelIdentity *> pool = zoo.pretrained();
-    assert(!pool.empty() && "zoo has no pre-trained identities");
+    const std::size_t pool = zoo.pretrainedCount();
+    assert(pool > 0 && "zoo has no pre-trained identities");
 
     util::Rng rng(seed);
-    // The popularity ranking is itself random per campaign: shuffle
-    // the lineages once, then bias draws toward the front of the
-    // shuffled order. skew=0 degenerates to a uniform draw; skew->1
-    // concentrates essentially all mass on the first few ranks.
-    rng.shuffle(pool);
+    // The popularity ranking is itself random per campaign: a keyed
+    // permutation of the lineage indices plays the role of a shuffle,
+    // but only the ranks actually drawn are ever evaluated. skew=0
+    // degenerates to a uniform draw; skew->1 concentrates essentially
+    // all mass on the first few ranks.
+    const RankPermutation perm(rng.nextU64(), pool);
 
     std::vector<VictimSessionSpec> queue;
     queue.reserve(opts.sessions);
@@ -33,10 +94,10 @@ sampleSessions(const ModelZoo &zoo, const SessionSamplerOptions &opts,
         const double biased =
             skew <= 0.0 ? u : std::pow(u, 1.0 / (1.0 - skew));
         std::size_t rank = static_cast<std::size_t>(
-            biased * static_cast<double>(pool.size()));
-        if (rank >= pool.size())
-            rank = pool.size() - 1;
-        spec.lineage = pool[rank];
+            biased * static_cast<double>(pool));
+        if (rank >= pool)
+            rank = pool - 1;
+        spec.lineage = &zoo.pretrainedAt(perm(rank));
         spec.seed = rng.nextU64();
         spec.captures = opts.capturesPerVictim;
         spec.blackout = rng.bernoulli(opts.blackoutFraction);

@@ -67,7 +67,9 @@ struct SessionSamplerOptions
  * come from one serial Rng in queue order, so the queue is a pure
  * function of its inputs regardless of thread count. Lineages are
  * drawn from the zoo's pre-trained identities with popularity rank
- * skew; per-session seeds are independent.
+ * skew; per-session seeds are independent. Cost is O(sessions) — the
+ * ranking is a keyed permutation evaluated lazily per draw, so queue
+ * construction never materializes or touches the full zoo.
  */
 std::vector<VictimSessionSpec>
 sampleSessions(const ModelZoo &zoo, const SessionSamplerOptions &opts,

@@ -116,7 +116,7 @@ ModelZoo::buildDefault(std::uint64_t seed, std::size_t num_pretrained,
         m.pretrainedName = m.name;
         m.isPretrained = true;
         m.weightSeed = rng.nextU64();
-        zoo.models_.push_back(std::move(m));
+        zoo.add(std::move(m));
     }
 
     const std::size_t base = zoo.models_.size();
@@ -132,7 +132,7 @@ ModelZoo::buildDefault(std::uint64_t seed, std::size_t num_pretrained,
         // architecture and signature are inherited unchanged.
         m.arch.numClasses = 2 + rng.uniformInt(4);
         m.weightSeed = rng.nextU64();
-        zoo.models_.push_back(std::move(m));
+        zoo.add(std::move(m));
     }
     return zoo;
 }
@@ -162,11 +162,8 @@ ModelZoo::finetuned() const
 const ModelIdentity *
 ModelZoo::byName(const std::string &name) const
 {
-    for (const auto &m : models_) {
-        if (m.name == name)
-            return &m;
-    }
-    return nullptr;
+    const auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : &models_[it->second];
 }
 
 std::vector<std::string>
@@ -183,6 +180,10 @@ ModelZoo::lineageNames() const
 void
 ModelZoo::add(ModelIdentity identity)
 {
+    const std::size_t idx = models_.size();
+    if (identity.isPretrained)
+        pretrainedIdx_.push_back(idx);
+    byName_.emplace(identity.name, idx);
     models_.push_back(std::move(identity));
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gpusim/signature.hh"
@@ -62,7 +63,21 @@ class ModelZoo
     /** Pointers to all fine-tuned identities. */
     std::vector<const ModelIdentity *> finetuned() const;
 
-    /** Lookup by exact name; nullptr if absent. */
+    /** Number of pre-trained identities — O(1). */
+    std::size_t pretrainedCount() const { return pretrainedIdx_.size(); }
+
+    /**
+     * The k-th pre-trained identity in insertion order — O(1), so
+     * samplers can draw from a 5,000+ zoo without materializing the
+     * pretrained() pointer vector. The reference is invalidated by a
+     * later add(), like pretrained() pointers.
+     */
+    const ModelIdentity &pretrainedAt(std::size_t k) const
+    {
+        return models_[pretrainedIdx_[k]];
+    }
+
+    /** Lookup by exact name — O(1); nullptr if absent. */
     const ModelIdentity *byName(const std::string &name) const;
 
     /** All distinct pre-trained lineage names, in insertion order. */
@@ -73,6 +88,10 @@ class ModelZoo
 
   private:
     std::vector<ModelIdentity> models_;
+    /** Indices of pre-trained identities, in insertion order. */
+    std::vector<std::size_t> pretrainedIdx_;
+    /** name -> index in models_; lookup only, never iterated (R3). */
+    std::unordered_map<std::string, std::size_t> byName_;
 };
 
 } // namespace decepticon::zoo

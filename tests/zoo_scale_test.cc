@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Production-scale zoo suite: procedural identity generation and the
+ * copy-on-write weight bank, O(queue) session sampling over huge
+ * zoos, and the sublinear fingerprint index — determinism across lane
+ * counts, recall against exhaustive re-ranking, fallback equivalence
+ * below the zoo-size threshold, and campaign report byte-identity on
+ * the indexed path.
+ */
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hh"
+#include "core/decepticon.hh"
+#include "core/two_level.hh"
+#include "fingerprint/index/embedding.hh"
+#include "fingerprint/index/lsh.hh"
+#include "gpusim/trace_generator.hh"
+#include "obs/clock.hh"
+#include "obs/obs.hh"
+#include "sched/sched.hh"
+#include "transformer/classifier.hh"
+#include "zoo/procedural.hh"
+#include "zoo/session.hh"
+#include "zoo/zoo.hh"
+
+namespace dc = decepticon::core;
+namespace dcp = decepticon::campaign;
+namespace df = decepticon::fingerprint;
+namespace dg = decepticon::gpusim;
+namespace dtr = decepticon::transformer;
+namespace dz = decepticon::zoo;
+namespace sched = decepticon::sched;
+namespace obs = decepticon::obs;
+
+namespace {
+
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+/** Restore the environment-configured global pool on scope exit. */
+struct PoolGuard
+{
+    ~PoolGuard() { sched::setThreads(0); }
+};
+
+/** A 256-lineage procedural pool with a trained fingerprint index,
+ *  built once and shared read-only across the index tests. */
+struct IndexHarness
+{
+    dz::ModelZoo zoo;
+    std::unique_ptr<dc::Decepticon> level1;
+    double trainAccuracy = 0.0;
+};
+
+IndexHarness &
+indexHarness()
+{
+    static IndexHarness h = [] {
+        sched::setThreads(1); // train at a fixed lane count
+        IndexHarness x;
+        dz::ProceduralZooOptions zopts;
+        zopts.identities = 256;
+        zopts.families = 16;
+        zopts.seed = 11;
+        x.zoo = dz::buildProceduralZoo(zopts);
+        dc::DecepticonOptions opts;
+        opts.seed = 4;
+        opts.indexZooThreshold = 64;
+        x.level1 = std::make_unique<dc::Decepticon>(opts);
+        x.trainAccuracy = x.level1->trainExtractor(x.zoo);
+        sched::setThreads(0);
+        return x;
+    }();
+    return h;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Procedural zoo generation.
+// ---------------------------------------------------------------------
+
+TEST(ProceduralZoo, FiveThousandIdentitiesDeterministicAndUnique)
+{
+    dz::ProceduralZooOptions zopts;
+    zopts.identities = 5000;
+    zopts.families = 32;
+    zopts.seed = 9;
+    const dz::ModelZoo a = dz::buildProceduralZoo(zopts);
+    const dz::ModelZoo b = dz::buildProceduralZoo(zopts);
+
+    ASSERT_EQ(a.models().size(), 5000u);
+    EXPECT_EQ(a.pretrainedCount(), 5000u);
+
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < a.models().size(); ++i) {
+        const dz::ModelIdentity &m = a.models()[i];
+        EXPECT_TRUE(m.isPretrained);
+        EXPECT_EQ(m.name, b.models()[i].name);
+        EXPECT_EQ(m.weightSeed, b.models()[i].weightSeed);
+        EXPECT_EQ(m.signature.kernelDialect, static_cast<int>(i))
+            << "every release carries a unique kernel dialect";
+        names.insert(m.name);
+    }
+    EXPECT_EQ(names.size(), 5000u) << "identity names must be unique";
+
+    // O(1) indexed accessors agree with the flat list.
+    EXPECT_EQ(&a.pretrainedAt(17), &a.models()[17]);
+    EXPECT_EQ(a.byName(a.models()[4321].name), &a.models()[4321]);
+}
+
+TEST(ProceduralZoo, LazyWeightBankMaterializesOnlyTouchedIdentities)
+{
+    dz::ProceduralZooOptions zopts;
+    zopts.identities = 64;
+    zopts.families = 8;
+    zopts.seed = 3;
+    const dz::ModelZoo zoo = dz::buildProceduralZoo(zopts);
+
+    dz::LazyWeightBank bank;
+    EXPECT_EQ(bank.materializedIdentities(), 0u);
+    EXPECT_EQ(bank.materializedAncestors(), 0u);
+
+    // models 0 and 8 share family 0 (i % families); model 1 is family 1.
+    const dz::WeightStore &w0 = bank.weights(zoo.models()[0]);
+    const dz::WeightStore &w0_again = bank.weights(zoo.models()[0]);
+    EXPECT_EQ(&w0, &w0_again) << "repeat touches reuse the cached store";
+    const dz::WeightStore &w8 = bank.weights(zoo.models()[8]);
+    bank.weights(zoo.models()[1]);
+
+    EXPECT_EQ(bank.materializedIdentities(), 3u)
+        << "only touched identities materialize";
+    EXPECT_EQ(bank.materializedAncestors(), 2u)
+        << "one shared ancestor per touched family";
+
+    // Copy-on-write: same-family siblings differ in a sparse subset
+    // and agree everywhere else.
+    ASSERT_EQ(w0.layers.size(), w8.layers.size());
+    ASSERT_FALSE(w0.layers.empty());
+    std::size_t differing = 0, total = 0;
+    for (std::size_t l = 0; l < w0.layers.size(); ++l) {
+        ASSERT_EQ(w0.layers[l].w.size(), w8.layers[l].w.size());
+        for (std::size_t i = 0; i < w0.layers[l].w.size(); ++i) {
+            ++total;
+            if (w0.layers[l].w[i] != w8.layers[l].w[i])
+                ++differing;
+        }
+    }
+    EXPECT_GT(differing, 0u) << "siblings are not byte-identical";
+    EXPECT_LT(differing, total / 4)
+        << "the delta is sparse — most weights are shared ancestry";
+
+    // Pure in (identity, options): a fresh bank reproduces the exact
+    // same weights.
+    dz::LazyWeightBank bank2;
+    const dz::WeightStore &r0 = bank2.weights(zoo.models()[0]);
+    ASSERT_EQ(r0.layers.size(), w0.layers.size());
+    for (std::size_t l = 0; l < w0.layers.size(); ++l)
+        EXPECT_EQ(r0.layers[l].w, w0.layers[l].w);
+}
+
+// ---------------------------------------------------------------------
+// O(queue) session sampling.
+// ---------------------------------------------------------------------
+
+TEST(ProceduralZoo, SamplerIsDeterministicAndSkewedOnLargeZoo)
+{
+    dz::ProceduralZooOptions zopts;
+    zopts.identities = 4096;
+    zopts.families = 32;
+    zopts.seed = 5;
+    const dz::ModelZoo zoo = dz::buildProceduralZoo(zopts);
+
+    dz::SessionSamplerOptions sopts;
+    sopts.sessions = 64;
+    sopts.skewPopularity = 0.9;
+    const auto a = dz::sampleSessions(zoo, sopts, 42);
+    const auto b = dz::sampleSessions(zoo, sopts, 42);
+    ASSERT_EQ(a.size(), 64u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].lineage, b[i].lineage);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        ASSERT_NE(a[i].lineage, nullptr);
+        EXPECT_TRUE(a[i].lineage->isPretrained);
+    }
+
+    // Heavy skew over 4096 lineages: the head of the permuted ranking
+    // dominates, so the queue touches a tiny slice of the zoo.
+    std::map<std::string, std::size_t> counts;
+    for (const auto &s : a)
+        ++counts[s.lineage->name];
+    std::size_t top = 0;
+    for (const auto &kv : counts)
+        top = std::max(top, kv.second);
+    EXPECT_GE(top, 10u)
+        << "skew=0.9 should concentrate draws on the head lineage";
+    EXPECT_LT(counts.size(), 48u)
+        << "64 skewed draws must not scatter across the whole zoo";
+}
+
+// ---------------------------------------------------------------------
+// Fingerprint index: determinism and recall.
+// ---------------------------------------------------------------------
+
+TEST(ZooIndex, TrainsIndexInsteadOfCnnAboveThreshold)
+{
+    const IndexHarness &h = indexHarness();
+    ASSERT_NE(h.level1->index(), nullptr);
+    EXPECT_EQ(h.level1->index()->numClasses(), 256u);
+    EXPECT_GT(h.trainAccuracy, 0.9)
+        << "dialect-unique procedural releases should be near-"
+           "perfectly separable from aggregate trace features";
+}
+
+TEST(ZooIndex, ShortlistsAreAPureFunctionOfTheQuery)
+{
+    const IndexHarness &h = indexHarness();
+    const df::FingerprintIndex *idx = h.level1->index();
+    ASSERT_NE(idx, nullptr);
+
+    const dz::ModelIdentity &m = h.zoo.models()[31];
+    const dg::KernelTrace trace =
+        dg::TraceGenerator(m.signature).generate(m.arch, 0xfeedULL);
+    const std::vector<float> emb = df::traceEmbedding(trace);
+
+    df::IndexLookupStats s1, s2;
+    const auto short1 = idx->shortlist(emb, &s1);
+    const auto short2 = idx->shortlist(emb, &s2);
+    EXPECT_EQ(short1, short2);
+    EXPECT_EQ(s1.shortlistClasses, s2.shortlistClasses);
+    EXPECT_EQ(s1.bucketProbes, s2.bucketProbes);
+    EXPECT_TRUE(std::is_sorted(short1.begin(), short1.end()));
+    EXPECT_LT(short1.size(), idx->numClasses())
+        << "a shortlist that covers the whole zoo is not sublinear";
+    EXPECT_EQ(idx->scores(emb, short1), idx->scores(emb, short1));
+}
+
+TEST(ZooIndex, IdentifyBatchBitIdenticalAcrossLanes)
+{
+    PoolGuard guard;
+    IndexHarness &h = indexHarness();
+    ASSERT_NE(h.level1->index(), nullptr);
+
+    std::vector<dg::KernelTrace> traces;
+    for (std::size_t i = 0; i < 48; ++i) {
+        const dz::ModelIdentity &m = h.zoo.models()[i];
+        traces.push_back(dg::TraceGenerator(m.signature)
+                             .generate(m.arch, 0x9990 + i));
+    }
+
+    sched::setThreads(1);
+    std::vector<dc::IdentificationResult> serial;
+    for (const auto &t : traces)
+        serial.push_back(h.level1->identify(t));
+
+    for (std::size_t threads : kThreadCounts) {
+        sched::setThreads(threads);
+        std::vector<const dg::KernelTrace *> ptrs;
+        for (const auto &t : traces)
+            ptrs.push_back(&t);
+        const auto batch = h.level1->identifyBatch(ptrs);
+        ASSERT_EQ(batch.size(), serial.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            EXPECT_EQ(batch[i].pretrainedName, serial[i].pretrainedName);
+            EXPECT_EQ(batch[i].topProbability, serial[i].topProbability)
+                << "probability must match bit for bit";
+            EXPECT_EQ(batch[i].candidates, serial[i].candidates);
+        }
+    }
+}
+
+TEST(ZooIndex, RecallWithinOnePointOfExhaustiveScoring)
+{
+    PoolGuard guard;
+    IndexHarness &h = indexHarness();
+    const df::FingerprintIndex *idx = h.level1->index();
+    ASSERT_NE(idx, nullptr);
+    sched::setThreads(1);
+
+    // Fresh (unseen-seed) victim per lineage; class label == identity
+    // index in an all-pretrained procedural zoo.
+    const std::vector<std::size_t> all = idx->allClasses();
+    std::size_t correct_indexed = 0, correct_exhaustive = 0;
+    const std::size_t n = h.zoo.pretrainedCount();
+    for (std::size_t c = 0; c < n; ++c) {
+        const dz::ModelIdentity &m = h.zoo.models()[c];
+        const dg::KernelTrace trace =
+            dg::TraceGenerator(m.signature).generate(m.arch, 0x777 + c);
+        const std::vector<float> emb = df::traceEmbedding(trace);
+
+        if (idx->classify(emb) == c)
+            ++correct_indexed;
+
+        // Exhaustive baseline: the same re-rank applied to every
+        // class instead of the shortlist.
+        const std::vector<double> probs = idx->scores(emb, all);
+        std::size_t best = 0;
+        for (std::size_t k = 1; k < probs.size(); ++k) {
+            if (probs[k] > probs[best])
+                best = k;
+        }
+        if (best == c)
+            ++correct_exhaustive;
+    }
+    const double acc_indexed = static_cast<double>(correct_indexed) /
+                               static_cast<double>(n);
+    const double acc_exhaustive =
+        static_cast<double>(correct_exhaustive) / static_cast<double>(n);
+    EXPECT_GT(acc_exhaustive, 0.8);
+    EXPECT_GE(acc_indexed, acc_exhaustive - 0.01)
+        << "the shortlist must not cost more than 1pt of accuracy "
+           "against exhaustive matching";
+}
+
+// ---------------------------------------------------------------------
+// Fallback below the zoo-size threshold.
+// ---------------------------------------------------------------------
+
+TEST(ZooIndex, SmallPoolFallsBackToExhaustiveCnnPath)
+{
+    PoolGuard guard;
+    sched::setThreads(1);
+    const dz::ModelZoo zoo = dz::ModelZoo::buildDefault(51, 4, 0);
+
+    dc::DecepticonOptions base;
+    base.datasetOptions.imagesPerModel = 3;
+    base.datasetOptions.resolution = 32;
+    base.cnnOptions.epochs = 10;
+    base.seed = 2;
+    dc::DecepticonOptions disabled = base;
+    disabled.indexZooThreshold = 0; // indexed path off entirely
+
+    dc::Decepticon with_threshold(base);
+    dc::Decepticon without_index(disabled);
+    const double acc_a = with_threshold.trainExtractor(zoo);
+    const double acc_b = without_index.trainExtractor(zoo);
+
+    // 4 lineages < threshold 256: both configurations must train the
+    // exhaustive CNN path and agree bit for bit.
+    EXPECT_EQ(with_threshold.index(), nullptr);
+    EXPECT_EQ(without_index.index(), nullptr);
+    EXPECT_EQ(acc_a, acc_b);
+
+    for (const auto *m : zoo.pretrained()) {
+        const dg::KernelTrace trace =
+            dg::TraceGenerator(m->signature)
+                .generate(m->arch, m->weightSeed ^ 0x33);
+        const auto ra = with_threshold.identify(trace);
+        const auto rb = without_index.identify(trace);
+        EXPECT_EQ(ra.pretrainedName, rb.pretrainedName);
+        EXPECT_EQ(ra.topProbability, rb.topProbability);
+        EXPECT_EQ(ra.candidates, rb.candidates);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign over the indexed path.
+// ---------------------------------------------------------------------
+
+namespace {
+
+dtr::TransformerConfig
+tinyConfig()
+{
+    dtr::TransformerConfig cfg;
+    cfg.vocab = 16;
+    cfg.maxSeqLen = 8;
+    cfg.hidden = 8;
+    cfg.numLayers = 2;
+    cfg.numHeads = 2;
+    cfg.ffnDim = 16;
+    cfg.numClasses = 2;
+    return cfg;
+}
+
+/** A prepared indexed attack over a 48-lineage procedural pool. */
+struct CampaignIndexHarness
+{
+    dz::ModelZoo zoo;
+    std::unique_ptr<dc::TwoLevelAttack> attack;
+};
+
+CampaignIndexHarness &
+campaignIndexHarness()
+{
+    static CampaignIndexHarness h = [] {
+        sched::setThreads(1);
+        CampaignIndexHarness x;
+        dz::ProceduralZooOptions zopts;
+        zopts.identities = 48;
+        zopts.families = 12;
+        zopts.seed = 21;
+        x.zoo = dz::buildProceduralZoo(zopts);
+        dc::TwoLevelOptions opts;
+        opts.level1.seed = 2;
+        opts.level1.indexZooThreshold = 16; // 48 >= 16 -> indexed
+        x.attack = std::make_unique<dc::TwoLevelAttack>(opts);
+        for (const auto *candidate : x.zoo.pretrained())
+            x.attack->addCandidate(
+                *candidate,
+                std::make_shared<dtr::TransformerClassifier>(
+                    tinyConfig(), candidate->weightSeed));
+        x.attack->prepare();
+        sched::setThreads(0);
+        return x;
+    }();
+    return h;
+}
+
+} // anonymous namespace
+
+TEST(ZooIndex, CampaignReportByteIdenticalAcrossLanesOnIndexedPath)
+{
+    PoolGuard guard;
+    CampaignIndexHarness &h = campaignIndexHarness();
+    ASSERT_NE(h.attack->level1().index(), nullptr)
+        << "48 lineages over threshold 16 must route through the index";
+
+    // Pin wall time: latency attribution is the one legitimately
+    // nondeterministic rollup input.
+    obs::FakeClock clock;
+    obs::setClockForTest(&clock);
+
+    dz::SessionSamplerOptions sopts;
+    sopts.sessions = 24;
+    sopts.capturesPerVictim = 2;
+    sopts.skewPopularity = 0.7;
+    auto sessions = dz::sampleSessions(h.zoo, sopts, 77);
+    // A few forced blackouts exercise the indexed fused path's honest
+    // abstention inside the same byte-identity check.
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+        sessions[i].blackout = (i % 8 == 5);
+        sessions[i].traceFaultSeverity =
+            sessions[i].blackout ? 1.0 : 0.0;
+    }
+
+    dcp::CampaignOptions copts;
+    copts.batchSize = 8;
+    copts.querySetSize = 12;
+    copts.victimConfig = tinyConfig();
+    copts.seed = 7;
+    copts.runLevel2 = false; // identification-scale campaign
+
+    auto run = [&](std::size_t threads) {
+        sched::setThreads(threads);
+        dcp::CampaignDriver driver(*h.attack, copts);
+        return driver.run(sessions).toJson();
+    };
+
+    const std::string reference = run(1);
+    EXPECT_FALSE(reference.empty());
+    for (std::size_t threads : kThreadCounts)
+        EXPECT_EQ(run(threads), reference)
+            << "indexed campaign report differs at " << threads
+            << " lanes";
+
+    obs::setClockForTest(nullptr);
+}

@@ -48,12 +48,25 @@ quotedIncludes(const SourceFile &f)
     return out;
 }
 
+/**
+ * Subsystem of a src-relative path. Longest declared prefix wins, so
+ * a nested module declared in layers.toml (e.g. "fingerprint/index")
+ * ranks independently of its parent directory; undeclared
+ * subdirectories fold into the first path segment as before.
+ */
 std::string
-moduleOf(const std::string &srcRelPath)
+moduleOf(const std::string &srcRelPath, const Config &cfg)
 {
     const std::size_t slash = srcRelPath.find('/');
-    return slash == std::string::npos ? std::string()
-                                      : srcRelPath.substr(0, slash);
+    if (slash == std::string::npos)
+        return std::string();
+    const std::size_t slash2 = srcRelPath.find('/', slash + 1);
+    if (slash2 != std::string::npos) {
+        const std::string nested = srcRelPath.substr(0, slash2);
+        if (cfg.layerOf.count(nested))
+            return nested;
+    }
+    return srcRelPath.substr(0, slash);
 }
 
 } // namespace
@@ -76,9 +89,9 @@ checkIncludeGraph(std::vector<SourceFile> &files, const Config &cfg,
         if (f.path.rfind("src/", 0) != 0)
             continue;
         const std::string fromRel = f.path.substr(4);
-        const std::string fromMod = moduleOf(fromRel);
+        const std::string fromMod = moduleOf(fromRel, cfg);
         for (const Include &inc : quotedIncludes(f)) {
-            const std::string toMod = moduleOf(inc.target);
+            const std::string toMod = moduleOf(inc.target, cfg);
             if (toMod.empty() || !cfg.layerOf.count(toMod))
                 continue; // not a subsystem header (e.g. local file)
             if (byScrPath.count(inc.target))
