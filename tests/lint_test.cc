@@ -2,9 +2,10 @@
  * @file
  * Self-test for decepticon-lint: every rule fires on its bad
  * fixture, stays silent on the good fixture, suppressions are
- * honored (and justification-free ones are not), and the JSON
- * report is byte-identical across runs. The fixture corpus lives in
- * tools/lint/fixtures/{good_repo,bad_repo} and shares one layers
+ * honored (and justification-free ones are not), the incremental
+ * cache changes nothing about the findings, and the JSON/SARIF
+ * reports are byte-identical across runs. The fixture corpus lives
+ * in tools/lint/fixtures/{good_repo,bad_repo} and shares one layers
  * config (modules a=0, b=1).
  */
 
@@ -12,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -54,16 +56,21 @@ TEST(Lint, GoodRepoIsClean)
 {
     const lint::Report r =
         lint::runLint(fixtures() + "/good_repo", fixtureConfig());
-    EXPECT_EQ(r.filesScanned, 5u);
+    EXPECT_EQ(r.filesScanned, 10u);
     EXPECT_TRUE(r.violations.empty())
         << lint::renderText(r)
         << "good fixture must produce zero unsuppressed violations";
-    ASSERT_EQ(r.suppressed.size(), 1u);
+    ASSERT_EQ(r.suppressed.size(), 2u);
     EXPECT_EQ(r.suppressed[0].rule, "R3");
     EXPECT_EQ(r.suppressed[0].file, "src/a/clean.cc");
     EXPECT_NE(r.suppressed[0].justification.find("commutes"),
               std::string::npos)
         << "multi-line justification text must be captured";
+    // The justified R7 suppression is honored and not flagged stale.
+    EXPECT_EQ(r.suppressed[1].rule, "R7");
+    EXPECT_EQ(r.suppressed[1].file, "src/a/r7_suppressed.cc");
+    EXPECT_NE(r.suppressed[1].justification.find("full grain"),
+              std::string::npos);
 }
 
 TEST(Lint, BadRepoFiresEveryRule)
@@ -88,7 +95,7 @@ TEST(Lint, BadRepoFiresEveryRule)
     EXPECT_EQ(countRuleInFile(r, "R4", "src/a/r4_threads.cc"), 3);
 
     // R5: missing guard, rogue getenv, untagged to-do marker, stale
-    // suppression.
+    // suppression, plus the v2 stale/unknown-id cases below.
     EXPECT_EQ(countRuleInFile(r, "R5", "src/a/r5_unguarded.hh"), 1);
     EXPECT_EQ(countRuleInFile(r, "R5", "src/a/r5_env_todo.cc"), 2);
     EXPECT_EQ(countRuleInFile(r, "R5", "src/a/r5_stale.cc"), 1);
@@ -97,7 +104,31 @@ TEST(Lint, BadRepoFiresEveryRule)
     // containing "std::cout" must not fire.
     EXPECT_EQ(countRuleInFile(r, "R6", "src/a/r6_print.cc"), 3);
 
-    EXPECT_EQ(r.violations.size(), 19u) << lint::renderText(r);
+    // R7: the by-ref shared Rng advanced from the task body.
+    EXPECT_EQ(countRuleInFile(r, "R7", "src/a/r7_shared_rng.cc"), 1);
+
+    // R8: += on the by-ref-captured double inside the task.
+    EXPECT_EQ(countRuleInFile(r, "R8", "src/a/r8_reduction.cc"), 1);
+
+    // R9: the intra-file ABBA inversion, plus the cross-TU cycle that
+    // only exists after one level of call-graph propagation (each
+    // cross file alone is consistent).
+    EXPECT_EQ(countRuleInFile(r, "R9", "src/a/r9_inversion.cc"), 1);
+    EXPECT_EQ(countRuleInFile(r, "R9", "src/a/r9_cross_a.cc"), 1);
+
+    // R10: the early-return leak and the never-ended span.
+    EXPECT_EQ(countRuleInFile(r, "R10", "src/a/r10_span.cc"), 2);
+
+    // R5 (v2): one stale suppression per new rule id, plus the
+    // unknown-id error — a typo'd id must never be silently inert.
+    EXPECT_EQ(countRuleInFile(r, "R5", "src/a/r7_r10_stale.cc"), 5);
+    int unknownId = 0;
+    for (const lint::Violation &v : r.violations)
+        if (v.message.find("unknown rule id 'R42'") != std::string::npos)
+            ++unknownId;
+    EXPECT_EQ(unknownId, 1);
+
+    EXPECT_EQ(r.violations.size(), 30u) << lint::renderText(r);
     EXPECT_TRUE(r.suppressed.empty());
 
     // Rule counts in the report must agree with the raw list.
@@ -105,8 +136,12 @@ TEST(Lint, BadRepoFiresEveryRule)
     EXPECT_EQ(r.countsByRule.at("R2"), 2);
     EXPECT_EQ(r.countsByRule.at("R3"), 1);
     EXPECT_EQ(r.countsByRule.at("R4"), 3);
-    EXPECT_EQ(r.countsByRule.at("R5"), 4);
+    EXPECT_EQ(r.countsByRule.at("R5"), 9);
     EXPECT_EQ(r.countsByRule.at("R6"), 3);
+    EXPECT_EQ(r.countsByRule.at("R7"), 1);
+    EXPECT_EQ(r.countsByRule.at("R8"), 1);
+    EXPECT_EQ(r.countsByRule.at("R9"), 2);
+    EXPECT_EQ(r.countsByRule.at("R10"), 2);
 }
 
 TEST(Lint, ViolationLinesPointAtTheConstruct)
@@ -122,6 +157,9 @@ TEST(Lint, ViolationLinesPointAtTheConstruct)
     EXPECT_EQ(lineOf("src/a/upward.cc", "R2"), 2);
     EXPECT_EQ(lineOf("src/a/r3_unordered.cc", "R3"), 10);
     EXPECT_EQ(lineOf("src/a/r5_unguarded.hh", "R5"), 1);
+    // R7 anchors at the first shared use, R10 at the leaking return.
+    EXPECT_EQ(lineOf("src/a/r7_shared_rng.cc", "R7"), 23);
+    EXPECT_EQ(lineOf("src/a/r10_span.cc", "R10"), 19);
 }
 
 TEST(Lint, JsonReportIsByteIdenticalAcrossRuns)
@@ -133,8 +171,77 @@ TEST(Lint, JsonReportIsByteIdenticalAcrossRuns)
     const std::string jb = lint::renderJson(b);
     EXPECT_EQ(ja, jb);
     EXPECT_NE(ja.find("\"tool\": \"decepticon-lint\""), std::string::npos);
+    // The canonical findings document carries no run telemetry; the
+    // gauges form adds the obs-style lint.* keys on top.
+    EXPECT_EQ(ja.find("gauges"), std::string::npos);
+    const std::string jg = lint::renderJson(a, /*withGauges=*/true);
+    EXPECT_NE(jg.find("\"lint.files_scanned\": 18"), std::string::npos);
+    EXPECT_NE(jg.find("\"lint.cache_hits\": 0"), std::string::npos);
+    EXPECT_NE(jg.find("\"lint.duration_micros\":"), std::string::npos);
     // No timestamps / absolute paths may leak into the report.
     EXPECT_EQ(ja.find(fixtures()), std::string::npos);
+}
+
+TEST(Lint, SarifExportIsDeterministicAndCarriesSuppressions)
+{
+    const lint::Config cfg = fixtureConfig();
+    lint::Report bad = lint::runLint(fixtures() + "/bad_repo", cfg);
+    EXPECT_EQ(lint::renderSarif(bad),
+              lint::renderSarif(
+                  lint::runLint(fixtures() + "/bad_repo", cfg)));
+    const std::string sarif = lint::renderSarif(bad);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    // Every rule id ships metadata, even ones with no result here.
+    for (const char *id : {"\"id\": \"R1\"", "\"id\": \"R7\"",
+                           "\"id\": \"R9\"", "\"id\": \"R10\""})
+        EXPECT_NE(sarif.find(id), std::string::npos) << id;
+    EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+
+    // Suppressed findings ride along as inSource suppressions.
+    lint::Report good = lint::runLint(fixtures() + "/good_repo", cfg);
+    const std::string goodSarif = lint::renderSarif(good);
+    EXPECT_NE(goodSarif.find("\"kind\": \"inSource\""), std::string::npos);
+    EXPECT_NE(goodSarif.find("full grain"), std::string::npos);
+}
+
+TEST(Lint, IncrementalCacheChangesNothingAndInvalidatesByContent)
+{
+    namespace fs = std::filesystem;
+    const lint::Config cfg = fixtureConfig();
+    const std::string root = testing::TempDir() + "lint_cache_repo";
+    fs::remove_all(root);
+    fs::copy(fixtures() + "/bad_repo", root,
+             fs::copy_options::recursive);
+    const std::string cache = testing::TempDir() + "lint_cache.tsv";
+    std::remove(cache.c_str());
+
+    const lint::Report cold = lint::runLint(root, cfg, cache);
+    EXPECT_EQ(cold.cacheHits, 0u);
+    const lint::Report warm = lint::runLint(root, cfg, cache);
+    EXPECT_EQ(warm.cacheHits, warm.filesScanned);
+    // Cold and warm findings must be byte-identical — the cache may
+    // only change wall time, never the report.
+    EXPECT_EQ(lint::renderJson(cold), lint::renderJson(warm));
+
+    // Editing one file invalidates exactly that file and its
+    // findings show up on the next (otherwise warm) run.
+    {
+        std::ofstream app(root + "/src/a/r6_print.cc", std::ios::app);
+        app << "\nint lateEntropy() { return std::rand(); }\n";
+    }
+    const lint::Report edited = lint::runLint(root, cfg, cache);
+    EXPECT_EQ(edited.cacheHits, edited.filesScanned - 1);
+    EXPECT_EQ(edited.violations.size(), cold.violations.size() + 1);
+    EXPECT_EQ(countRuleInFile(edited, "R1", "src/a/r6_print.cc"), 1);
+
+    // A config edit (different sourceHash) discards the whole cache.
+    lint::Config cfg2 = cfg;
+    cfg2.sourceHash ^= 1;
+    const lint::Report recold = lint::runLint(root, cfg2, cache);
+    EXPECT_EQ(recold.cacheHits, 0u);
+
+    fs::remove_all(root);
+    std::remove(cache.c_str());
 }
 
 TEST(Lint, RepoConfigParsesAndDeclaresEveryModule)
@@ -151,6 +258,12 @@ TEST(Lint, RepoConfigParsesAndDeclaresEveryModule)
     ASSERT_TRUE(cfg.layerOf.count("sched"));
     EXPECT_LT(cfg.layerOf.at("util"), cfg.layerOf.at("sched"));
     EXPECT_LT(cfg.layerOf.at("sched"), cfg.layerOf.at("core"));
+    // The v2 rule scopes are wired in, and the config bytes hash into
+    // the cache key.
+    EXPECT_FALSE(cfg.dataflowPaths.empty());
+    EXPECT_FALSE(cfg.r9Paths.empty());
+    EXPECT_FALSE(cfg.r10Paths.empty());
+    EXPECT_NE(cfg.sourceHash, 0u);
 }
 
 TEST(Lint, MalformedConfigIsRejected)

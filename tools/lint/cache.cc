@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Incremental cache for decepticon-lint: per-file summaries keyed by
+ * FNV-1a of the file bytes, with the config-bytes hash and a format
+ * version in the header so a config edit or tool upgrade invalidates
+ * everything at once. The cache stores exactly what the cross-TU
+ * passes and the report need — per-file findings, suppressions with
+ * their per-file `used` flag, quoted includes, and the R9 function
+ * summaries — never raw source, so warm runs skip tokenizing and
+ * rule-checking unchanged files while the cross-file passes still
+ * see the whole repo.
+ *
+ * Line-oriented, tab-separated, with tabs/newlines/backslashes
+ * escaped inside fields. Parsing is strict: any anomaly (unknown
+ * record, wrong field count, bad number) discards the whole cache —
+ * it is advisory, never authoritative, and the worst failure mode
+ * must be a cold run, not a wrong report.
+ */
+
+#include "lint.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace decepticon::lint {
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+namespace {
+
+constexpr const char *kMagic = "decepticon-lint-cache";
+constexpr int kFormatVersion = 2;
+
+std::string
+esc(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+bool
+unesc(const std::string &s, std::string &out)
+{
+    out.clear();
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        if (++i >= s.size())
+            return false;
+        switch (s[i]) {
+        case '\\':
+            out += '\\';
+            break;
+        case 't':
+            out += '\t';
+            break;
+        case 'n':
+            out += '\n';
+            break;
+        default:
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == '\t') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+bool
+parseInt(const std::string &s, long long &out)
+{
+    if (s.empty())
+        return false;
+    out = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        out = out * 10 + (c - '0');
+    }
+    return true;
+}
+
+bool
+parseHex(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s.size() > 16)
+        return false;
+    out = 0;
+    for (char c : s) {
+        int d;
+        if (c >= '0' && c <= '9')
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else
+            return false;
+        out = out * 16 + static_cast<std::uint64_t>(d);
+    }
+    return true;
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    do {
+        out.insert(out.begin(), digits[v & 0xf]);
+        v >>= 4;
+    } while (v);
+    return out;
+}
+
+void
+writeSuppression(std::ostream &os, char tag, const Suppression &s)
+{
+    os << tag << '\t' << s.line << '\t' << (s.used ? 1 : 0) << '\t'
+       << esc(s.rule) << '\t' << esc(s.justification) << '\n';
+}
+
+void
+writeViolation(std::ostream &os, char tag, const Violation &v)
+{
+    os << tag << '\t' << v.line << '\t' << esc(v.rule) << '\t'
+       << esc(v.message) << '\t' << esc(v.justification) << '\n';
+}
+
+} // namespace
+
+void
+saveCache(const std::string &path, std::uint64_t configHash,
+          const std::vector<FileSummary> &sums)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return; // best effort: the next run is just cold
+    os << kMagic << '\t' << kFormatVersion << '\t' << hex(configHash)
+       << '\n';
+    for (const FileSummary &s : sums) {
+        os << "F\t" << esc(s.path) << '\t' << hex(s.contentHash) << '\n';
+        for (const Suppression &sup : s.lineSuppressions)
+            writeSuppression(os, 'S', sup);
+        for (const Suppression &sup : s.fileSuppressions)
+            writeSuppression(os, 'T', sup);
+        for (const Violation &v : s.violations)
+            writeViolation(os, 'V', v);
+        for (const Violation &v : s.suppressed)
+            writeViolation(os, 'W', v);
+        for (const Include &inc : s.includes)
+            os << "I\t" << inc.line << '\t' << esc(inc.target) << '\n';
+        for (const FunctionInfo &fn : s.functions) {
+            os << "N\t" << fn.line << '\t' << fn.arity << '\t'
+               << esc(fn.name) << '\n';
+            for (const std::string &a : fn.acquired)
+                os << "A\t" << esc(a) << '\n';
+            for (const LockEdge &e : fn.edges)
+                os << "E\t" << e.line << '\t' << esc(e.from) << '\t'
+                   << esc(e.to) << '\n';
+            for (const HeldCall &hc : fn.heldCalls) {
+                os << "C\t" << hc.line << '\t' << hc.arity << '\t'
+                   << esc(hc.callee);
+                for (const std::string &h : hc.held)
+                    os << '\t' << esc(h);
+                os << '\n';
+            }
+        }
+    }
+}
+
+bool
+loadCache(const std::string &path, std::uint64_t configHash,
+          std::map<std::string, FileSummary> &byPath)
+{
+    byPath.clear();
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+
+    std::string line;
+    if (!std::getline(is, line))
+        return false;
+    {
+        const std::vector<std::string> f = splitTabs(line);
+        long long ver = 0;
+        std::uint64_t hash = 0;
+        if (f.size() != 3 || f[0] != kMagic || !parseInt(f[1], ver) ||
+            ver != kFormatVersion || !parseHex(f[2], hash) ||
+            hash != configHash)
+            return false;
+    }
+
+    FileSummary *cur = nullptr;
+    FunctionInfo *curFn = nullptr;
+    auto fail = [&] {
+        byPath.clear();
+        return false;
+    };
+    while (std::getline(is, line)) {
+        if (line.empty())
+            return fail();
+        const std::vector<std::string> f = splitTabs(line);
+        long long n1 = 0, n2 = 0;
+        switch (line[0]) {
+        case 'F': {
+            std::string p;
+            std::uint64_t hash = 0;
+            if (f.size() != 3 || !unesc(f[1], p) ||
+                !parseHex(f[2], hash) || byPath.count(p))
+                return fail();
+            cur = &byPath[p];
+            cur->path = p;
+            cur->contentHash = hash;
+            cur->fromCache = true;
+            curFn = nullptr;
+            break;
+        }
+        case 'S':
+        case 'T': {
+            Suppression sup;
+            if (!cur || f.size() != 5 || !parseInt(f[1], n1) ||
+                !parseInt(f[2], n2) || n2 > 1 ||
+                !unesc(f[3], sup.rule) ||
+                !unesc(f[4], sup.justification))
+                return fail();
+            sup.line = static_cast<int>(n1);
+            sup.used = n2 != 0;
+            (line[0] == 'S' ? cur->lineSuppressions
+                            : cur->fileSuppressions)
+                .push_back(sup);
+            break;
+        }
+        case 'V':
+        case 'W': {
+            Violation v;
+            if (!cur || f.size() != 5 || !parseInt(f[1], n1) ||
+                !unesc(f[2], v.rule) || !unesc(f[3], v.message) ||
+                !unesc(f[4], v.justification))
+                return fail();
+            v.file = cur->path;
+            v.line = static_cast<int>(n1);
+            (line[0] == 'V' ? cur->violations : cur->suppressed)
+                .push_back(v);
+            break;
+        }
+        case 'I': {
+            Include inc;
+            if (!cur || f.size() != 3 || !parseInt(f[1], n1) ||
+                !unesc(f[2], inc.target))
+                return fail();
+            inc.line = static_cast<int>(n1);
+            cur->includes.push_back(inc);
+            break;
+        }
+        case 'N': {
+            FunctionInfo fn;
+            if (!cur || f.size() != 4 || !parseInt(f[1], n1) ||
+                !parseInt(f[2], n2) || !unesc(f[3], fn.name))
+                return fail();
+            fn.line = static_cast<int>(n1);
+            fn.arity = static_cast<int>(n2);
+            cur->functions.push_back(fn);
+            curFn = &cur->functions.back();
+            break;
+        }
+        case 'A': {
+            std::string a;
+            if (!curFn || f.size() != 2 || !unesc(f[1], a))
+                return fail();
+            curFn->acquired.push_back(a);
+            break;
+        }
+        case 'E': {
+            LockEdge e;
+            if (!curFn || f.size() != 4 || !parseInt(f[1], n1) ||
+                !unesc(f[2], e.from) || !unesc(f[3], e.to))
+                return fail();
+            e.line = static_cast<int>(n1);
+            curFn->edges.push_back(e);
+            break;
+        }
+        case 'C': {
+            HeldCall hc;
+            if (!curFn || f.size() < 4 || !parseInt(f[1], n1) ||
+                !parseInt(f[2], n2) || !unesc(f[3], hc.callee))
+                return fail();
+            hc.line = static_cast<int>(n1);
+            hc.arity = static_cast<int>(n2);
+            for (std::size_t k = 4; k < f.size(); ++k) {
+                std::string h;
+                if (!unesc(f[k], h))
+                    return fail();
+                hc.held.push_back(h);
+            }
+            curFn->heldCalls.push_back(hc);
+            break;
+        }
+        default:
+            return fail();
+        }
+    }
+    return true;
+}
+
+} // namespace decepticon::lint

@@ -4,7 +4,9 @@
  * subset — `[section]` headers, `key = value` pairs, bare-value list
  * entries, `#` comments — so the tool stays dependency-free and the
  * file stays hand-editable in review (every new allowlist entry is a
- * one-line diff).
+ * one-line diff). The raw config bytes are hashed into
+ * Config::sourceHash: it keys the incremental cache, so any config
+ * edit invalidates every cached per-file summary at once.
  */
 
 #include "lint.hh"
@@ -12,6 +14,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 namespace decepticon::lint {
 
@@ -33,17 +36,23 @@ trim(const std::string &s)
 bool
 loadConfig(const std::string &path, Config &out, std::string *error)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
         if (error)
             *error = "cannot open config: " + path;
         return false;
     }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+
     out = Config{};
+    out.sourceHash = fnv1a64(bytes);
+    std::istringstream is(bytes);
     std::string section;
     std::string line;
     int lineNo = 0;
-    while (std::getline(in, line)) {
+    while (std::getline(is, line)) {
         ++lineNo;
         const std::size_t hash = line.find('#');
         if (hash != std::string::npos)
@@ -93,6 +102,14 @@ loadConfig(const std::string &path, Config &out, std::string *error)
             out.r6Paths.push_back(key);
         } else if (section == "r6.allow_dirs") {
             out.r6AllowDirs.push_back(key);
+        } else if (section == "dataflow.paths") {
+            out.dataflowPaths.push_back(key);
+        } else if (section == "r9.paths") {
+            out.r9Paths.push_back(key);
+        } else if (section == "r10.paths") {
+            out.r10Paths.push_back(key);
+        } else if (section == "r10.allow_dirs") {
+            out.r10AllowDirs.push_back(key);
         } else if (section == "scan.roots") {
             out.scanRoots.push_back(key);
         } else {

@@ -1,0 +1,30 @@
+// R10 positives: raw spans that leak. `leakyEarlyReturn` opens a
+// span and can return before ending it; `neverEnded` opens one and
+// has no endSpan at all.
+#include <cstdint>
+
+namespace fixture {
+
+struct Tracer
+{
+    std::uint64_t beginSpan(const char *name);
+    void endSpan(std::uint64_t id);
+};
+
+int
+leakyEarlyReturn(Tracer &tr, bool bail)
+{
+    const std::uint64_t span = tr.beginSpan("work");
+    if (bail)
+        return -1; // fires R10: span still open on this path
+    tr.endSpan(span);
+    return 0;
+}
+
+void
+neverEnded(Tracer &tr)
+{
+    tr.beginSpan("lost"); // fires R10: no endSpan in this function
+}
+
+} // namespace fixture

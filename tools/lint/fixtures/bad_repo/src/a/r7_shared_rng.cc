@@ -1,0 +1,27 @@
+// R7 positive: a shared Rng captured by reference into a parallel
+// task and advanced from every lane — the stream depends on the
+// interleaving.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed);
+    std::uint64_t nextU64();
+    Rng split(std::uint64_t tag) const;
+};
+
+void parallelFor(std::size_t n, std::size_t grain, void (*fn)(std::size_t));
+
+void
+fillShared(std::vector<std::uint64_t> &out)
+{
+    Rng rng(7);
+    parallelFor(out.size(), 1, [&](std::size_t i) {
+        out[i] = rng.nextU64(); // fires R7: same generator, all lanes
+    });
+}
+
+} // namespace fixture

@@ -1,0 +1,20 @@
+// R8 positive: by-reference-captured double accumulated with +=
+// from a parallel task body — the sum depends on lane timing.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void parallelFor(std::size_t n, std::size_t grain, void (*fn)(std::size_t));
+
+double
+unstableSum(const std::vector<double> &v)
+{
+    double sum = 0.0;
+    parallelFor(v.size(), 1, [&](std::size_t i) {
+        sum += v[i]; // fires R8: float addition does not commute
+    });
+    return sum;
+}
+
+} // namespace fixture

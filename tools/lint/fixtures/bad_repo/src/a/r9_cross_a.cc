@@ -1,0 +1,27 @@
+// R9 positive (cross-TU): holds lockM and calls crossHelper(),
+// which r9_cross_b.cc defines to acquire lockN — while the reverse
+// chain there acquires lockN and calls backHelper() (defined below)
+// to take lockM. Neither file alone has an inversion; the one-level
+// call-graph propagation closes the cycle.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex lockM;
+
+void crossHelper();
+
+void
+holdMThenCross()
+{
+    std::lock_guard<std::mutex> m(lockM);
+    crossHelper();
+}
+
+void
+backHelper()
+{
+    std::lock_guard<std::mutex> m(lockM);
+}
+
+} // namespace fixture

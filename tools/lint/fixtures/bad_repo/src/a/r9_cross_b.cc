@@ -1,0 +1,23 @@
+// R9 positive (cross-TU), second half: see r9_cross_a.cc.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex lockN;
+
+void backHelper();
+
+void
+crossHelper()
+{
+    std::lock_guard<std::mutex> n(lockN);
+}
+
+void
+holdNThenBack()
+{
+    std::lock_guard<std::mutex> n(lockN);
+    backHelper();
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// R9 positive (intra-file): two functions acquire the same pair of
+// mutexes in opposite orders — a classic ABBA deadlock.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex lockP;
+std::mutex lockQ;
+
+void
+forward()
+{
+    std::lock_guard<std::mutex> p(lockP);
+    std::lock_guard<std::mutex> q(lockQ);
+}
+
+void
+backward()
+{
+    std::lock_guard<std::mutex> q(lockQ);
+    std::lock_guard<std::mutex> p(lockP);
+}
+
+} // namespace fixture

@@ -1,0 +1,37 @@
+// R10 negatives: a raw span ended before every return, and the RAII
+// form, which never shows a bare beginSpan at the call site.
+#include <cstdint>
+
+namespace fixture {
+
+struct Tracer
+{
+    std::uint64_t beginSpan(const char *name);
+    void endSpan(std::uint64_t id);
+};
+
+struct ScopedSpan
+{
+    ScopedSpan(Tracer &tr, const char *name);
+    ~ScopedSpan();
+};
+
+int
+balanced(Tracer &tr, int x)
+{
+    const std::uint64_t span = tr.beginSpan("work");
+    const int y = x * 2;
+    tr.endSpan(span);
+    return y; // span closed on this path: R10 stays quiet
+}
+
+int
+raii(Tracer &tr, int x)
+{
+    ScopedSpan span(tr, "work"); // unwinding closes it: exempt
+    if (x < 0)
+        return -x;
+    return x;
+}
+
+} // namespace fixture

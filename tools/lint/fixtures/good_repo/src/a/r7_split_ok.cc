@@ -1,0 +1,28 @@
+// R7 negative: the blessed pattern — the shared Rng is only ever
+// asked for .split(i) inside the task, and each lane advances its
+// own derived stream.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed);
+    std::uint64_t nextU64();
+    Rng split(std::uint64_t tag) const;
+};
+
+void parallelFor(std::size_t n, std::size_t grain, void (*fn)(std::size_t));
+
+void
+fillSplit(std::vector<std::uint64_t> &out)
+{
+    Rng root(7);
+    parallelFor(out.size(), 1, [&](std::size_t i) {
+        Rng lane = root.split(i); // per-task stream: R7 stays quiet
+        out[i] = lane.nextU64();
+    });
+}
+
+} // namespace fixture

@@ -1,0 +1,27 @@
+// R7 hit carrying a justified suppression: counted as suppressed,
+// not as a violation, and the suppression is not stale.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed);
+    std::uint64_t nextU64();
+    Rng split(std::uint64_t tag) const;
+};
+
+void parallelFor(std::size_t n, std::size_t grain, void (*fn)(std::size_t));
+
+void
+fillGrainOne(std::vector<std::uint64_t> &out)
+{
+    Rng rng(11);
+    parallelFor(out.size(), out.size(), [&](std::size_t i) {
+        // lint: suppress(R7) single task at full grain, serial by construction
+        out[i] = rng.nextU64();
+    });
+}
+
+} // namespace fixture

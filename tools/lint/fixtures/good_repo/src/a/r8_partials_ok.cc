@@ -1,0 +1,23 @@
+// R8 negative: per-slot writes in the parallel task, then a serial
+// reduce in deterministic queue order after the join.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void parallelFor(std::size_t n, std::size_t grain, void (*fn)(std::size_t));
+
+double
+stableSum(const std::vector<double> &v)
+{
+    std::vector<double> partials(v.size(), 0.0);
+    parallelFor(v.size(), 1, [&](std::size_t i) {
+        partials[i] = v[i] * v[i]; // indexed write: R8 stays quiet
+    });
+    double sum = 0.0;
+    for (std::size_t i = 0; i < partials.size(); ++i)
+        sum += partials[i]; // serial reduce, fixed order
+    return sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,23 @@
+// R9 negative: std::scoped_lock acquires both mutexes atomically
+// (deadlock-free by construction), so opposite argument orders
+// contribute no ordering edges.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex lockP;
+std::mutex lockQ;
+
+void
+forwardAtomic()
+{
+    std::scoped_lock guard(lockP, lockQ);
+}
+
+void
+backwardAtomic()
+{
+    std::scoped_lock guard(lockQ, lockP);
+}
+
+} // namespace fixture

@@ -5,7 +5,10 @@
  * a -> b is legal iff rank(a) > rank(b) or a == b), and reject
  * file-level include cycles. Only files under src/ contribute
  * edges — tests/bench/examples sit above every layer by
- * construction.
+ * construction. Runs over the per-file summaries, so it sees cached
+ * and freshly-scanned files identically and is recomputed every run:
+ * a cache hit can never hide a layering regression introduced by a
+ * different file.
  */
 
 #include "lint.hh"
@@ -15,16 +18,6 @@
 
 namespace decepticon::lint {
 
-namespace {
-
-struct Include
-{
-    std::string target; ///< path as written, e.g. "util/rng.hh"
-    int line = 0;
-};
-
-/** Quoted includes from the code view (angle includes are system
- *  headers and carry no layering information). */
 std::vector<Include>
 quotedIncludes(const SourceFile &f)
 {
@@ -47,6 +40,8 @@ quotedIncludes(const SourceFile &f)
     }
     return out;
 }
+
+namespace {
 
 /**
  * Subsystem of a src-relative path. Longest declared prefix wins, so
@@ -72,36 +67,36 @@ moduleOf(const std::string &srcRelPath, const Config &cfg)
 } // namespace
 
 void
-checkIncludeGraph(std::vector<SourceFile> &files, const Config &cfg,
+checkIncludeGraph(std::vector<FileSummary> &sums, const Config &cfg,
                   Report &out)
 {
-    // Index of src-relative path -> position in `files` for cycle
+    // Index of src-relative path -> position in `sums` for cycle
     // walking, plus the per-file adjacency built as we rank-check.
-    std::map<std::string, std::size_t> byScrPath;
-    for (std::size_t i = 0; i < files.size(); ++i) {
-        const std::string &p = files[i].path;
+    std::map<std::string, std::size_t> bySrcPath;
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+        const std::string &p = sums[i].path;
         if (p.rfind("src/", 0) == 0)
-            byScrPath[p.substr(4)] = i;
+            bySrcPath[p.substr(4)] = i;
     }
 
     std::map<std::string, std::vector<std::pair<std::string, int>>> adj;
-    for (SourceFile &f : files) {
-        if (f.path.rfind("src/", 0) != 0)
+    for (FileSummary &s : sums) {
+        if (s.path.rfind("src/", 0) != 0)
             continue;
-        const std::string fromRel = f.path.substr(4);
+        const std::string fromRel = s.path.substr(4);
         const std::string fromMod = moduleOf(fromRel, cfg);
-        for (const Include &inc : quotedIncludes(f)) {
+        for (const Include &inc : s.includes) {
             const std::string toMod = moduleOf(inc.target, cfg);
             if (toMod.empty() || !cfg.layerOf.count(toMod))
                 continue; // not a subsystem header (e.g. local file)
-            if (byScrPath.count(inc.target))
+            if (bySrcPath.count(inc.target))
                 adj[fromRel].push_back({inc.target, inc.line});
             if (!cfg.layerOf.count(fromMod)) {
-                emitViolation(f, inc.line, "R2",
-                              "module '" + fromMod +
-                                  "' is not declared in the layers "
-                                  "config — add it to layers.toml",
-                              out);
+                emitCross(s, inc.line, "R2",
+                          "module '" + fromMod +
+                              "' is not declared in the layers "
+                              "config — add it to layers.toml",
+                          out);
                 continue;
             }
             if (fromMod == toMod)
@@ -111,8 +106,8 @@ checkIncludeGraph(std::vector<SourceFile> &files, const Config &cfg,
             const int fromRank = cfg.layerOf.at(fromMod);
             const int toRank = cfg.layerOf.at(toMod);
             if (fromRank <= toRank) {
-                emitViolation(
-                    f, inc.line, "R2",
+                emitCross(
+                    s, inc.line, "R2",
                     "layering violation: " + fromMod + " (layer " +
                         std::to_string(fromRank) + ") must not include " +
                         toMod + " (layer " + std::to_string(toRank) +
@@ -160,7 +155,7 @@ checkIncludeGraph(std::vector<SourceFile> &files, const Config &cfg,
         return false;
     };
 
-    for (const auto &[path, idx] : byScrPath) {
+    for (const auto &[path, idx] : bySrcPath) {
         (void)idx;
         if (mark[path] == Mark::White && dfs(path)) {
             std::string desc = "include cycle: ";
@@ -169,8 +164,8 @@ checkIncludeGraph(std::vector<SourceFile> &files, const Config &cfg,
                     desc += " -> ";
                 desc += cycle[i];
             }
-            SourceFile &f = files[byScrPath.at(cycle.front())];
-            emitViolation(f, 1, "R2", desc, out);
+            FileSummary &s = sums[bySrcPath.at(cycle.front())];
+            emitCross(s, 1, "R2", desc, out);
             break;
         }
     }

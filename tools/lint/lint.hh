@@ -19,21 +19,51 @@
  *       `#pragma omp` anywhere except src/sched/ (all parallelism
  *       goes through the deterministic pool).
  *   R5  hygiene — headers without an include guard, getenv outside
- *       the config shims, TODO/FIXME without an issue tag, and stale
- *       (unused) suppression comments.
+ *       the config shims, TODO/FIXME without an issue tag, stale
+ *       (unused) suppression comments, and suppressions naming a
+ *       rule id the tool does not know.
  *   R6  console-I/O ban — std::cout/cerr/clog and printf-family
  *       calls in library code ([r6.paths], minus [r6.allow_dirs]):
  *       diagnostics go through obs:: (metrics / trace / flight
  *       recorder) and renderers write to caller-provided streams, so
  *       library output stays capturable and deterministic.
  *
+ * v2 adds a lightweight symbol indexer (function definitions, lambda
+ * scopes with parsed capture lists, call sites), a cross-TU call
+ * graph (name + arity matching layered on the include graph), and
+ * four dataflow rules on top of it:
+ *
+ *   R7  shared-Rng-into-parallel-task — an Rng lvalue captured by
+ *       reference (or a captured Rng pointer) into a
+ *       parallelFor/parallelForRange task whose body uses it for
+ *       anything but `.split(`: every lane would advance the same
+ *       generator, making the stream interleaving-dependent.
+ *   R8  order-dependent float reduction — `+=`/`-=` on a
+ *       by-reference-captured float/double/Tensor accumulator inside
+ *       a parallel task body: float addition does not commute
+ *       bit-exactly, so the sum depends on lane timing.
+ *   R9  lock-order DAG — per-function lock_guard/unique_lock/
+ *       scoped_lock acquisition sequences, propagated one level
+ *       through the cross-TU call graph; a cycle in the resulting
+ *       lock-order graph is a potential deadlock. A multi-mutex
+ *       std::scoped_lock acquires atomically and contributes no
+ *       internal edges.
+ *   R10 obs-span balance — a raw beginSpan whose function can return
+ *       without a matching endSpan on that path (or never ends the
+ *       span at all); RAII ScopedSpan is exempt by construction.
+ *
  * Deliberately not built on libclang: a deterministic token/line
- * scanner plus an include-graph builder covers every rule above, has
- * zero dependencies, and produces byte-identical reports across runs
- * and hosts.
+ * scanner plus the include-graph/symbol passes cover every rule
+ * above, have zero dependencies, and produce byte-identical reports
+ * across runs and hosts. A content-hash incremental cache keyed on
+ * (file bytes, config bytes, tool version) keeps the full-repo sweep
+ * warm time a small fraction of the cold run: per-file findings and
+ * symbol summaries are cached, cross-TU passes (R2, R9, stale
+ * suppressions) are recomputed from the summaries every run.
  *
  * Suppression syntax (justification text is mandatory — a bare
- * suppression does not suppress):
+ * suppression does not suppress; rule ids R1–R10 are valid and any
+ * other id is itself an R5 violation):
  *
  *   code();            // lint: suppress(R4) tests the pool itself
  *   // lint: ordered-ok keys re-sorted downstream   (alias: R3)
@@ -46,6 +76,7 @@
 #define DECEPTICON_TOOLS_LINT_LINT_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -80,8 +111,22 @@ struct Config
     /** [r6.allow_dirs] directory prefixes exempt from R6 (the obs
      *  exporters and report renderers that own process output). */
     std::vector<std::string> r6AllowDirs;
+    /** [dataflow.paths] path prefixes where the parallel-task
+     *  dataflow rules (R7, R8) run — the deterministic tree. */
+    std::vector<std::string> dataflowPaths;
+    /** [r9.paths] path prefixes contributing lock acquisitions and
+     *  call-graph edges to the lock-order DAG. */
+    std::vector<std::string> r9Paths;
+    /** [r10.paths] path prefixes where span balance is enforced. */
+    std::vector<std::string> r10Paths;
+    /** [r10.allow_dirs] prefixes exempt from R10 (the obs layer that
+     *  implements the tracer owns raw begin/end internally). */
+    std::vector<std::string> r10AllowDirs;
     /** [scan.roots] directories walked under --root. */
     std::vector<std::string> scanRoots;
+    /** FNV-1a of the raw config bytes — part of the cache key, so a
+     *  config edit invalidates every cached summary. */
+    std::uint64_t sourceHash = 0;
 };
 
 /** Parse a config file. Returns false and sets *error on failure. */
@@ -91,7 +136,7 @@ struct Violation
 {
     std::string file; ///< repo-relative, '/' separators
     int line = 0;
-    std::string rule; ///< "R1".."R6"
+    std::string rule; ///< "R1".."R10"
     std::string message;
     std::string justification; ///< non-empty only for suppressed hits
 };
@@ -101,16 +146,19 @@ struct Report
     std::vector<Violation> violations; ///< unsuppressed — these fail CI
     std::vector<Violation> suppressed; ///< visible in review via baseline
     std::size_t filesScanned = 0;
+    std::size_t cacheHits = 0; ///< files served from the incremental cache
+    std::int64_t durationMicros = 0; ///< wall time of the lint run
     std::map<std::string, int> countsByRule; ///< unsuppressed, per rule
 };
 
 /** One suppression comment, matched to uses as rules fire. */
 struct Suppression
 {
-    std::string rule;          ///< "R1".."R6"
+    std::string rule;          ///< "R1".."R10"
     std::string justification; ///< text after the rule token, trimmed
     int line = 0;              ///< line the suppression targets
-    bool used = false;
+    bool used = false;         ///< consumed by a per-file rule (cached)
+    bool usedCross = false;    ///< consumed by a cross-TU rule (per run)
 };
 
 /** A loaded source file: raw lines plus a comment/string-blanked code
@@ -124,6 +172,8 @@ struct SourceFile
     std::vector<std::string> comments; ///< comment text per line
     std::vector<Suppression> lineSuppressions;
     std::vector<Suppression> fileSuppressions;
+    /** Suppressions naming an unknown rule id: (line, bad id). */
+    std::vector<std::pair<int, std::string>> badSuppressions;
 
     bool isHeader() const;
 };
@@ -132,18 +182,191 @@ struct SourceFile
 bool loadSource(const std::string &absPath, const std::string &relPath,
                 SourceFile &out);
 
-/** Run rules R1, R3, R4, R5, R6 on one file. */
-void checkFile(SourceFile &f, const Config &cfg, Report &out);
+/** Pre-process from in-memory bytes (the cache layer hashes the
+ *  bytes first, so the file is read exactly once per run). */
+void loadSourceFromString(const std::string &text,
+                          const std::string &relPath, SourceFile &out);
 
-/** Run R2 (layer ranks + file-level cycles) over all loaded files. */
-void checkIncludeGraph(std::vector<SourceFile> &files, const Config &cfg,
+// --- token / symbol layer -----------------------------------------
+
+struct Token
+{
+    std::string text;
+    int line = 0; ///< 1-based
+    bool ident = false;
+};
+
+/** Tokenize the blanked code view into identifiers and punctuation.
+ *  `::` is one token; every other punctuation char is its own. */
+std::vector<Token> tokenize(const SourceFile &f);
+
+/** A lambda expression: capture semantics plus body token range. */
+struct LambdaInfo
+{
+    std::size_t introTok = 0;              ///< index of '['
+    std::size_t bodyBegin = 0, bodyEnd = 0; ///< '{' .. matching '}'
+    int line = 0;
+    bool defaultRef = false;  ///< [&]
+    bool defaultCopy = false; ///< [=]
+    std::set<std::string> refCaptures;  ///< [&x]
+    std::set<std::string> copyCaptures; ///< [x]
+    /** Init-captures aliasing an outer name: alias -> outer name
+     *  (e.g. `[&r = rng]` or `[p = &rng]` record r/p -> rng, both
+     *  with reference semantics). */
+    std::map<std::string, std::string> refAliases;
+    bool parallelTask = false; ///< argument to parallelFor(Range)
+};
+
+/** An intra-function lock-order edge: `from` held while acquiring
+ *  `to` (names are unqualified here; the call-graph pass qualifies
+ *  them with the file path). */
+struct LockEdge
+{
+    std::string from, to;
+    int line = 0;
+};
+
+/** A call made while holding at least one lock. */
+struct HeldCall
+{
+    std::string callee;
+    int arity = 0;
+    int line = 0;
+    std::vector<std::string> held; ///< lock names held at the call
+};
+
+/** Cacheable per-function summary feeding the cross-TU lock pass. */
+struct FunctionInfo
+{
+    std::string name; ///< unqualified (last identifier)
+    int arity = 0;
+    int line = 0;
+    std::vector<std::string> acquired; ///< locks acquired in body, dedup
+    std::vector<LockEdge> edges;       ///< intra-function order edges
+    std::vector<HeldCall> heldCalls;
+};
+
+/** Full per-TU index (not cached — rebuilt when a file misses the
+ *  cache; the cacheable subset is distilled into FileSummary). */
+struct TuIndex
+{
+    std::vector<Token> toks;
+    /** Function definitions with body token ranges, for the
+     *  dataflow rules that need to walk bodies. */
+    struct FnDef
+    {
+        std::string name;
+        int arity = 0;
+        int line = 0;
+        std::size_t bodyBegin = 0, bodyEnd = 0; ///< '{' .. '}'
+    };
+    std::vector<FnDef> functions;
+    std::vector<LambdaInfo> lambdas;
+    std::set<std::string> rngNames;    ///< Rng lvalues declared in TU
+    std::set<std::string> rngPointers; ///< Rng* declared in TU
+    std::set<std::string> floatAccums; ///< float/double/Tensor lvalues
+    std::vector<FunctionInfo> lockInfo; ///< per-function R9 summaries
+};
+
+/** Build the symbol index for one file (symbols.cc). */
+TuIndex buildTuIndex(const SourceFile &f);
+
+/** Collect `Rng` / float/double/Tensor lvalue declarations in a
+ *  token range. The dataflow rules call this on lambda bodies to
+ *  subtract task-local declarations (a per-task `Rng local` or
+ *  `double partial` is exactly the blessed pattern). */
+void collectTypedDecls(const std::vector<Token> &toks, std::size_t begin,
+                       std::size_t end, std::set<std::string> &rngNames,
+                       std::set<std::string> &rngPtrs,
+                       std::set<std::string> &accums);
+
+/** One quoted #include. */
+struct Include
+{
+    std::string target; ///< path as written, e.g. "util/rng.hh"
+    int line = 0;
+};
+
+/** Quoted includes from the code view. */
+std::vector<Include> quotedIncludes(const SourceFile &f);
+
+// --- per-file summary (the unit of incremental caching) -----------
+
+/** Everything later passes need from a file: per-file findings plus
+ *  the inputs to the cross-TU passes. Serialized to the cache keyed
+ *  by content hash; cross-TU passes run fresh every time, so a
+ *  cache hit can never hide a cross-file regression. */
+struct FileSummary
+{
+    std::string path;
+    std::uint64_t contentHash = 0;
+    bool fromCache = false;
+    std::vector<Suppression> lineSuppressions;
+    std::vector<Suppression> fileSuppressions;
+    std::vector<Violation> violations; ///< per-file rules, unsuppressed
+    std::vector<Violation> suppressed; ///< per-file rules, suppressed
+    std::vector<Include> includes;
+    std::vector<FunctionInfo> functions; ///< R9 inputs
+};
+
+/** Record a per-file rule hit: consumes a matching justified
+ *  suppression or appends to s.violations. */
+void emitLocal(FileSummary &s, int line, const std::string &rule,
+               const std::string &message);
+
+/** Record a cross-TU rule hit against a (possibly cached) summary:
+ *  consumes a suppression (marking usedCross) or appends to
+ *  out.violations. */
+void emitCross(FileSummary &s, int line, const std::string &rule,
+               const std::string &message, Report &out);
+
+/** Run every per-file rule (R1, R3–R8, R10) and distill the
+ *  cacheable summary. */
+FileSummary analyzeFile(const SourceFile &f, const Config &cfg);
+
+/** Token-level rules R1, R3, R4, R5, R6 (rules.cc). */
+void checkFileRules(const SourceFile &f, const std::vector<Token> &toks,
+                    const Config &cfg, FileSummary &s);
+
+/** Dataflow rules R7, R8, R10 over the symbol index (dataflow.cc). */
+void checkDataflow(const SourceFile &f, const TuIndex &ix,
+                   const Config &cfg, FileSummary &s);
+
+/** R2 (layer ranks + file-level cycles) over all summaries. */
+void checkIncludeGraph(std::vector<FileSummary> &sums, const Config &cfg,
                        Report &out);
 
-/** After all rules ran: flag stale suppressions (R5). */
-void checkUnusedSuppressions(const SourceFile &f, Report &out);
+/** R9: build the lock-order graph (intra-function edges plus one
+ *  level of call-graph propagation) and report cycles
+ *  (callgraph.cc). */
+void checkLockGraph(std::vector<FileSummary> &sums, const Config &cfg,
+                    Report &out);
 
-/** Walk cfg.scanRoots under root, run every rule, sort + count. */
-Report runLint(const std::string &root, const Config &cfg);
+/** After all rules ran: flag stale suppressions (R5). */
+void checkUnusedSuppressions(const FileSummary &s, Report &out);
+
+// --- incremental cache (cache.cc) ---------------------------------
+
+/** Load cached summaries. Returns false (empty map) on any format or
+ *  version mismatch — the cache is advisory, never authoritative. */
+bool loadCache(const std::string &path, std::uint64_t configHash,
+               std::map<std::string, FileSummary> &byPath);
+
+/** Persist summaries after a run (best effort; failure is silent —
+ *  the next run is just cold). */
+void saveCache(const std::string &path, std::uint64_t configHash,
+               const std::vector<FileSummary> &sums);
+
+/** FNV-1a 64 over raw bytes — the cache key primitive. */
+std::uint64_t fnv1a64(const std::string &bytes);
+
+// --- orchestration / rendering ------------------------------------
+
+/** Walk cfg.scanRoots under root, run every rule, sort + count.
+ *  With a non-empty cachePath, per-file work is served from /
+ *  persisted to the incremental cache. */
+Report runLint(const std::string &root, const Config &cfg,
+               const std::string &cachePath = std::string());
 
 /** Deterministic ordering + counts (runLint calls this). */
 void finalize(Report &r);
@@ -151,13 +374,17 @@ void finalize(Report &r);
 /** `file:line: [rule] message` lines, one per violation. */
 std::string renderText(const Report &r);
 
-/** Machine-readable report; byte-identical across runs. */
-std::string renderJson(const Report &r);
+/** Machine-readable report; byte-identical across runs when
+ *  withGauges is false (the canonical findings document). With
+ *  gauges, a `gauges` object adds lint.files_scanned,
+ *  lint.cache_hits and lint.duration_micros (run telemetry — not
+ *  part of the byte-identity contract). */
+std::string renderJson(const Report &r, bool withGauges = false);
 
-/** Record a rule hit against file f at 1-based line `line`: consumes
- *  a matching justified suppression or appends to out.violations. */
-void emitViolation(SourceFile &f, int line, const std::string &rule,
-                   const std::string &message, Report &out);
+/** SARIF 2.1.0 export (static-analysis interchange): rule metadata,
+ *  unsuppressed results at level error, suppressed results carried
+ *  with their inSource justification. Byte-identical across runs. */
+std::string renderSarif(const Report &r);
 
 } // namespace decepticon::lint
 

@@ -1,11 +1,14 @@
 /**
  * @file
- * Per-file rules for decepticon-lint: R1 (banned nondeterminism),
- * R3 (unordered-iteration hazard), R4 (raw-thread ban), R5 (hygiene),
- * R6 (console-I/O ban in library code).
+ * Per-file token rules for decepticon-lint: R1 (banned
+ * nondeterminism), R3 (unordered-iteration hazard), R4 (raw-thread
+ * ban), R5 (hygiene, including suppressions naming unknown rule
+ * ids), R6 (console-I/O ban in library code).
  * All token-level checks run over the comment/string-blanked code
  * view, so `"std::rand()"` in a log string or a doc comment never
- * fires.
+ * fires. The dataflow rules (R7, R8, R10) live in dataflow.cc on top
+ * of the symbol index; the cross-TU rules (R2, R9) run later over
+ * every file's summary.
  */
 
 #include "lint.hh"
@@ -16,52 +19,6 @@
 namespace decepticon::lint {
 
 namespace {
-
-struct Token
-{
-    std::string text;
-    int line = 0;    ///< 1-based
-    bool ident = false;
-};
-
-/** Tokenize the code view into identifiers and punctuation. `::` is
- *  one token; every other punctuation char is its own token. */
-std::vector<Token>
-tokenize(const SourceFile &f)
-{
-    std::vector<Token> toks;
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-        const std::string &s = f.code[li];
-        const int line = static_cast<int>(li + 1);
-        for (std::size_t i = 0; i < s.size();) {
-            const unsigned char c = static_cast<unsigned char>(s[i]);
-            if (std::isspace(c)) {
-                ++i;
-            } else if (std::isalpha(c) || c == '_') {
-                std::size_t b = i;
-                while (i < s.size() &&
-                       (std::isalnum(static_cast<unsigned char>(s[i])) ||
-                        s[i] == '_'))
-                    ++i;
-                toks.push_back({s.substr(b, i - b), line, true});
-            } else if (std::isdigit(c)) {
-                std::size_t b = i;
-                while (i < s.size() &&
-                       (std::isalnum(static_cast<unsigned char>(s[i])) ||
-                        s[i] == '.'))
-                    ++i;
-                toks.push_back({s.substr(b, i - b), line, false});
-            } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
-                toks.push_back({"::", line, false});
-                i += 2;
-            } else {
-                toks.push_back({std::string(1, s[i]), line, false});
-                ++i;
-            }
-        }
-    }
-    return toks;
-}
 
 bool
 hasPrefix(const std::string &s, const std::string &prefix)
@@ -131,8 +88,8 @@ skipTemplateArgs(const std::vector<Token> &t, std::size_t i)
 // --- R1: banned nondeterminism ------------------------------------
 
 void
-checkR1(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
-        Report &out)
+checkR1(const SourceFile &f, const std::vector<Token> &t,
+        const Config &cfg, FileSummary &s)
 {
     if (cfg.r1AllowFiles.count(f.path))
         return;
@@ -142,34 +99,30 @@ checkR1(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
         const std::string &id = t[i].text;
         if ((id == "rand" || id == "srand") && tokText(t, i + 1) == "(" &&
             stdQualifiedOrBare(t, i)) {
-            emitViolation(f, t[i].line, "R1",
-                          "call to " + id +
-                              "(): use util::Rng (seed-derived) instead",
-                          out);
+            emitLocal(s, t[i].line, "R1",
+                      "call to " + id +
+                          "(): use util::Rng (seed-derived) instead");
         } else if (id == "random_device" && stdQualifiedOrBare(t, i)) {
-            emitViolation(f, t[i].line, "R1",
-                          "std::random_device is entropy, not "
-                          "reproducible: derive seeds via util::Rng::split",
-                          out);
+            emitLocal(s, t[i].line, "R1",
+                      "std::random_device is entropy, not "
+                      "reproducible: derive seeds via util::Rng::split");
         } else if (id == "time" && tokText(t, i + 1) == "(" &&
                    stdQualifiedOrBare(t, i)) {
             const std::string &arg = tokText(t, i + 2);
             if (arg == ")" || ((arg == "0" || arg == "NULL" ||
                                 arg == "nullptr") &&
                                tokText(t, i + 3) == ")")) {
-                emitViolation(f, t[i].line, "R1",
-                              "wall-clock time() call: timestamps must "
-                              "come from obs::SteadyClock",
-                              out);
+                emitLocal(s, t[i].line, "R1",
+                          "wall-clock time() call: timestamps must "
+                          "come from obs::SteadyClock");
             }
         } else if ((id == "steady_clock" || id == "system_clock" ||
                     id == "high_resolution_clock") &&
                    tokText(t, i + 1) == "::" &&
                    tokText(t, i + 2) == "now") {
-            emitViolation(f, t[i].line, "R1",
-                          id + "::now() outside the clock shim: inject "
-                               "obs::Clock so tests can fake time",
-                          out);
+            emitLocal(s, t[i].line, "R1",
+                      id + "::now() outside the clock shim: inject "
+                           "obs::Clock so tests can fake time");
         }
     }
 }
@@ -177,8 +130,8 @@ checkR1(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
 // --- R3: unordered-iteration hazard -------------------------------
 
 void
-checkR3(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
-        Report &out)
+checkR3(const SourceFile &f, const std::vector<Token> &t,
+        const Config &cfg, FileSummary &s)
 {
     if (!underAny(f.path, cfg.r3Paths))
         return;
@@ -229,13 +182,12 @@ checkR3(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
                 continue;
             if (unorderedNames.count(t[k].text) ||
                 isUnorderedContainer(t[k].text)) {
-                emitViolation(
-                    f, t[i].line, "R3",
+                emitLocal(
+                    s, t[i].line, "R3",
                     "range-for over unordered container '" + t[k].text +
                         "': iteration order is not deterministic "
                         "(sort keys, use std::map, or justify with "
-                        "`// lint: ordered-ok <why>`)",
-                    out);
+                        "`// lint: ordered-ok <why>`)");
                 break;
             }
         }
@@ -245,8 +197,8 @@ checkR3(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
 // --- R4: raw-thread ban -------------------------------------------
 
 void
-checkR4(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
-        Report &out)
+checkR4(const SourceFile &f, const std::vector<Token> &t,
+        const Config &cfg, FileSummary &s)
 {
     if (underAny(f.path, cfg.r4AllowDirs))
         return;
@@ -259,30 +211,27 @@ checkR4(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
         if ((id == "thread" || id == "jthread") && stdQual &&
             tokText(t, i + 1) != "::") {
             // std::thread::id etc. are types, not spawns — allowed.
-            emitViolation(f, t[i].line, "R4",
-                          "raw std::" + id +
-                              ": all parallelism goes through "
-                              "sched::ThreadPool (deterministic, "
-                              "DECEPTICON_THREADS-sized)",
-                          out);
+            emitLocal(s, t[i].line, "R4",
+                      "raw std::" + id +
+                          ": all parallelism goes through "
+                          "sched::ThreadPool (deterministic, "
+                          "DECEPTICON_THREADS-sized)");
         } else if (id == "async" && stdQual) {
-            emitViolation(f, t[i].line, "R4",
-                          "std::async spawns unmanaged threads: use "
-                          "sched::parallelFor / ThreadPool",
-                          out);
+            emitLocal(s, t[i].line, "R4",
+                      "std::async spawns unmanaged threads: use "
+                      "sched::parallelFor / ThreadPool");
         }
     }
     for (std::size_t li = 0; li < f.code.size(); ++li) {
-        const std::string &s = f.code[li];
-        const std::size_t h = s.find('#');
+        const std::string &line = f.code[li];
+        const std::size_t h = line.find('#');
         if (h == std::string::npos)
             continue;
-        if (s.find("pragma", h) != std::string::npos &&
-            s.find(" omp", h) != std::string::npos) {
-            emitViolation(f, static_cast<int>(li + 1), "R4",
-                          "raw `#pragma omp`: OpenMP scheduling is not "
-                          "deterministic across hosts; use sched::",
-                          out);
+        if (line.find("pragma", h) != std::string::npos &&
+            line.find(" omp", h) != std::string::npos) {
+            emitLocal(s, static_cast<int>(li + 1), "R4",
+                      "raw `#pragma omp`: OpenMP scheduling is not "
+                      "deterministic across hosts; use sched::");
         }
     }
 }
@@ -290,8 +239,8 @@ checkR4(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
 // --- R5: hygiene ---------------------------------------------------
 
 void
-checkR5(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
-        Report &out)
+checkR5(const SourceFile &f, const std::vector<Token> &t,
+        const Config &cfg, FileSummary &s)
 {
     // (a) headers need an include guard: `#pragma once` or a leading
     // `#ifndef X` / `#define X` pair.
@@ -299,42 +248,42 @@ checkR5(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
         bool guarded = false;
         std::string ifndefName;
         for (std::size_t li = 0; li < f.code.size() && !guarded; ++li) {
-            const std::string &s = f.code[li];
-            const std::size_t h = s.find('#');
+            const std::string &line = f.code[li];
+            const std::size_t h = line.find('#');
             if (h == std::string::npos)
                 continue;
-            if (s.find("pragma", h) != std::string::npos &&
-                s.find("once", h) != std::string::npos) {
+            if (line.find("pragma", h) != std::string::npos &&
+                line.find("once", h) != std::string::npos) {
                 guarded = true;
             } else if (ifndefName.empty()) {
-                const std::size_t p = s.find("ifndef", h);
+                const std::size_t p = line.find("ifndef", h);
                 if (p != std::string::npos) {
                     std::size_t b = p + 6;
-                    while (b < s.size() &&
-                           std::isspace(static_cast<unsigned char>(s[b])))
+                    while (b < line.size() &&
+                           std::isspace(
+                               static_cast<unsigned char>(line[b])))
                         ++b;
                     std::size_t e = b;
-                    while (e < s.size() &&
+                    while (e < line.size() &&
                            (std::isalnum(
-                                static_cast<unsigned char>(s[e])) ||
-                            s[e] == '_'))
+                                static_cast<unsigned char>(line[e])) ||
+                            line[e] == '_'))
                         ++e;
-                    ifndefName = s.substr(b, e - b);
+                    ifndefName = line.substr(b, e - b);
                 } else {
                     break; // first directive is neither — unguarded
                 }
-            } else if (s.find("define", h) != std::string::npos &&
-                       s.find(ifndefName, h) != std::string::npos) {
+            } else if (line.find("define", h) != std::string::npos &&
+                       line.find(ifndefName, h) != std::string::npos) {
                 guarded = true;
             } else {
                 break; // #ifndef not followed by matching #define
             }
         }
         if (!guarded)
-            emitViolation(f, 1, "R5",
-                          "header without an include guard (#pragma "
-                          "once or #ifndef/#define pair)",
-                          out);
+            emitLocal(s, 1, "R5",
+                      "header without an include guard (#pragma "
+                      "once or #ifndef/#define pair)");
     }
 
     // (b) getenv outside the config shims.
@@ -342,11 +291,10 @@ checkR5(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
         for (std::size_t i = 0; i < t.size(); ++i) {
             if (t[i].ident && t[i].text == "getenv" &&
                 tokText(t, i + 1) == "(" && stdQualifiedOrBare(t, i)) {
-                emitViolation(f, t[i].line, "R5",
-                              "getenv outside the config shims: route "
-                              "env knobs through the owning subsystem's "
-                              "spec parser",
-                              out);
+                emitLocal(s, t[i].line, "R5",
+                          "getenv outside the config shims: route "
+                          "env knobs through the owning subsystem's "
+                          "spec parser");
             }
         }
     }
@@ -363,18 +311,27 @@ checkR5(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
                 std::isdigit(static_cast<unsigned char>(com[k + 1])))
                 tagged = true;
         if (!tagged)
-            emitViolation(f, static_cast<int>(li + 1), "R5",
-                          "TODO/FIXME without an issue tag (add "
-                          "`(#N)` or `ISSUE-N` so it is trackable)",
-                          out);
+            emitLocal(s, static_cast<int>(li + 1), "R5",
+                      "TODO/FIXME without an issue tag (add "
+                      "`(#N)` or `ISSUE-N` so it is trackable)");
+    }
+
+    // (d) suppressions naming a rule id the tool does not have are an
+    // error, never silently inert: a typo'd id would otherwise look
+    // like a working suppression while the real violation escapes.
+    for (const auto &[line, badRule] : f.badSuppressions) {
+        emitLocal(s, line, "R5",
+                  "suppression names unknown rule id '" + badRule +
+                      "' (valid ids are R1..R10) — fix the id or "
+                      "remove the comment");
     }
 }
 
 // --- R6: console I/O outside obs/report code ----------------------
 
 void
-checkR6(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
-        Report &out)
+checkR6(const SourceFile &f, const std::vector<Token> &t,
+        const Config &cfg, FileSummary &s)
 {
     if (!underAny(f.path, cfg.r6Paths) ||
         underAny(f.path, cfg.r6AllowDirs))
@@ -385,24 +342,22 @@ checkR6(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
         const std::string &id = t[i].text;
         if ((id == "cout" || id == "cerr" || id == "clog") &&
             stdQualifiedOrBare(t, i)) {
-            emitViolation(f, t[i].line, "R6",
-                          "std::" + id +
-                              " in library code: route diagnostics "
-                              "through obs:: (metrics/trace/flight) or "
-                              "write to a caller-provided stream",
-                          out);
+            emitLocal(s, t[i].line, "R6",
+                      "std::" + id +
+                          " in library code: route diagnostics "
+                          "through obs:: (metrics/trace/flight) or "
+                          "write to a caller-provided stream");
         } else if ((id == "printf" || id == "fprintf" ||
                     id == "puts" || id == "fputs") &&
                    tokText(t, i + 1) == "(" &&
                    stdQualifiedOrBare(t, i)) {
             // snprintf/sprintf format into buffers, not the console,
             // and tokenize as distinct identifiers — not matched.
-            emitViolation(f, t[i].line, "R6",
-                          "call to " + id +
-                              "(): console diagnostics are banned in "
-                              "library code; use obs:: or return "
-                              "strings/streams",
-                          out);
+            emitLocal(s, t[i].line, "R6",
+                      "call to " + id +
+                          "(): console diagnostics are banned in "
+                          "library code; use obs:: or return "
+                          "strings/streams");
         }
     }
 }
@@ -410,14 +365,14 @@ checkR6(SourceFile &f, const std::vector<Token> &t, const Config &cfg,
 } // namespace
 
 void
-checkFile(SourceFile &f, const Config &cfg, Report &out)
+checkFileRules(const SourceFile &f, const std::vector<Token> &toks,
+               const Config &cfg, FileSummary &s)
 {
-    const std::vector<Token> toks = tokenize(f);
-    checkR1(f, toks, cfg, out);
-    checkR3(f, toks, cfg, out);
-    checkR4(f, toks, cfg, out);
-    checkR5(f, toks, cfg, out);
-    checkR6(f, toks, cfg, out);
+    checkR1(f, toks, cfg, s);
+    checkR3(f, toks, cfg, s);
+    checkR4(f, toks, cfg, s);
+    checkR5(f, toks, cfg, s);
+    checkR6(f, toks, cfg, s);
 }
 
 } // namespace decepticon::lint

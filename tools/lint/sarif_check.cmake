@@ -1,0 +1,35 @@
+# ctest glue for the SARIF-format gate: run decepticon-lint over the
+# bad_repo fixture (every rule fires there) with --sarif and
+# byte-compare the export against the committed golden file. The
+# SARIF renderer is deterministic by construction, so any diff is a
+# real format change and must be landed by regenerating the golden:
+#
+#   decepticon-lint --root tools/lint/fixtures/bad_repo \
+#       --config tools/lint/fixtures/layers.toml --quiet \
+#       --sarif tools/lint/fixtures/bad_repo_expected.sarif
+#
+# Inputs: -DLINT_BIN=... -DFIXTURES=... -DOUT_SARIF=...
+
+execute_process(
+    COMMAND ${LINT_BIN} --root ${FIXTURES}/bad_repo
+            --config ${FIXTURES}/layers.toml
+            --quiet --sarif ${OUT_SARIF}
+    RESULT_VARIABLE lint_rc)
+# A non-zero exit just means the fixture has violations (it must);
+# only a missing export is fatal here.
+if(NOT EXISTS ${OUT_SARIF})
+    message(FATAL_ERROR "decepticon-lint produced no SARIF export "
+                        "(exit ${lint_rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${FIXTURES}/bad_repo_expected.sarif ${OUT_SARIF}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "SARIF export deviates from the committed golden "
+        "(${FIXTURES}/bad_repo_expected.sarif); if the format change "
+        "is intentional, regenerate the golden with the command in "
+        "sarif_check.cmake")
+endif()

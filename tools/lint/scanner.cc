@@ -4,7 +4,8 @@
  * translation unit into a raw view, a code view with comments and
  * string/char literals blanked (line structure preserved, so rule
  * hits report real line numbers), a per-line comment text view, and
- * the parsed suppression comments.
+ * the parsed suppression comments. Also home of the suppression
+ * matching shared by the per-file and cross-TU emit paths.
  */
 
 #include "lint.hh"
@@ -61,31 +62,50 @@ trimJustification(std::string s)
     return trim(s.substr(b));
 }
 
+enum class ParseResult
+{
+    NotASuppression,
+    Ok,
+    UnknownRule, ///< `suppress(...)` naming a rule id we don't have
+};
+
 /** Parse the payload after "lint:" / "lint-file:" into (rule,
- *  justification). Accepts `suppress(Rn) why` and the R3 alias
- *  `ordered-ok why`. Returns false if the payload is not a
- *  recognized suppression. */
-bool
-parseSuppression(const std::string &payload, Suppression &out)
+ *  justification). Accepts `suppress(Rn) why` for R1..R10 and the R3
+ *  alias `ordered-ok why`. A `suppress(...)` with any other id is an
+ *  error (UnknownRule), never silently inert. */
+ParseResult
+parseSuppression(const std::string &payload, Suppression &out,
+                 std::string *badRule)
 {
     std::string p = trim(payload);
     if (startsWith(p, 0, "ordered-ok")) {
         out.rule = "R3";
         out.justification = trimJustification(p.substr(10));
-        return true;
+        return ParseResult::Ok;
     }
     if (startsWith(p, 0, "suppress(")) {
         std::size_t close = p.find(')');
         if (close == std::string::npos)
-            return false;
-        std::string rule = trim(p.substr(9, close - 9));
-        if (rule.size() != 2 || rule[0] != 'R' || rule[1] < '1' || rule[1] > '5')
-            return false;
+            return ParseResult::NotASuppression;
+        const std::string rule = trim(p.substr(9, close - 9));
+        bool valid = rule.size() >= 2 && rule[0] == 'R';
+        int n = 0;
+        for (std::size_t k = 1; valid && k < rule.size(); ++k) {
+            if (!std::isdigit(static_cast<unsigned char>(rule[k])))
+                valid = false;
+            else
+                n = n * 10 + (rule[k] - '0');
+        }
+        if (!valid || n < 1 || n > 10) {
+            if (badRule)
+                *badRule = rule;
+            return ParseResult::UnknownRule;
+        }
         out.rule = rule;
         out.justification = trimJustification(p.substr(close + 1));
-        return true;
+        return ParseResult::Ok;
     }
-    return false;
+    return ParseResult::NotASuppression;
 }
 
 } // namespace
@@ -110,8 +130,14 @@ loadSource(const std::string &absPath, const std::string &relPath,
         return false;
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string text = buf.str();
+    loadSourceFromString(buf.str(), relPath, out);
+    return true;
+}
 
+void
+loadSourceFromString(const std::string &text, const std::string &relPath,
+                     SourceFile &out)
+{
     out = SourceFile{};
     out.path = relPath;
 
@@ -244,8 +270,17 @@ loadSource(const std::string &absPath, const std::string &relPath,
             payloadStart = at + 5;
         }
         Suppression s;
-        if (!parseSuppression(com.substr(payloadStart), s))
+        std::string badRule;
+        switch (parseSuppression(com.substr(payloadStart), s, &badRule)) {
+        case ParseResult::NotASuppression:
             continue;
+        case ParseResult::UnknownRule:
+            out.badSuppressions.emplace_back(static_cast<int>(li + 1),
+                                             badRule);
+            continue;
+        case ParseResult::Ok:
+            break;
+        }
         if (fileWide) {
             s.line = static_cast<int>(li + 1);
             out.fileSuppressions.push_back(s);
@@ -273,64 +308,92 @@ loadSource(const std::string &absPath, const std::string &relPath,
             out.lineSuppressions.push_back(s);
         }
     }
-    return true;
 }
 
+namespace {
+
+/** Shared suppression matching: returns true and fills
+ *  *justification if a justified suppression covered the hit (the
+ *  matched suppression is flagged via `used` or `usedCross`). */
+bool
+matchSuppression(FileSummary &s, int line, const std::string &rule,
+                 bool cross, std::string *justification)
+{
+    for (Suppression &sup : s.lineSuppressions) {
+        if (sup.line == line && sup.rule == rule) {
+            (cross ? sup.usedCross : sup.used) = true;
+            if (sup.justification.empty())
+                return false; // bare suppression: does not suppress
+            *justification = sup.justification;
+            return true;
+        }
+    }
+    for (Suppression &sup : s.fileSuppressions) {
+        if (sup.rule == rule) {
+            (cross ? sup.usedCross : sup.used) = true;
+            if (sup.justification.empty())
+                return false;
+            *justification = sup.justification;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
 void
-emitViolation(SourceFile &f, int line, const std::string &rule,
-              const std::string &message, Report &out)
+emitLocal(FileSummary &s, int line, const std::string &rule,
+          const std::string &message)
 {
     Violation v;
-    v.file = f.path;
+    v.file = s.path;
     v.line = line;
     v.rule = rule;
     v.message = message;
-
-    for (Suppression &s : f.lineSuppressions) {
-        if (s.line == line && s.rule == rule) {
-            s.used = true;
-            if (s.justification.empty())
-                break; // bare suppression: does not suppress
-            v.justification = s.justification;
-            out.suppressed.push_back(v);
-            return;
-        }
-    }
-    for (Suppression &s : f.fileSuppressions) {
-        if (s.rule == rule) {
-            s.used = true;
-            if (s.justification.empty())
-                break;
-            v.justification = s.justification;
-            out.suppressed.push_back(v);
-            return;
-        }
-    }
-    out.violations.push_back(v);
+    if (matchSuppression(s, line, rule, /*cross=*/false, &v.justification))
+        s.suppressed.push_back(v);
+    else
+        s.violations.push_back(v);
 }
 
 void
-checkUnusedSuppressions(const SourceFile &f, Report &out)
+emitCross(FileSummary &s, int line, const std::string &rule,
+          const std::string &message, Report &out)
 {
-    for (const Suppression &s : f.lineSuppressions) {
-        if (s.used)
+    Violation v;
+    v.file = s.path;
+    v.line = line;
+    v.rule = rule;
+    v.message = message;
+    if (matchSuppression(s, line, rule, /*cross=*/true, &v.justification))
+        out.suppressed.push_back(v);
+    else
+        out.violations.push_back(v);
+}
+
+void
+checkUnusedSuppressions(const FileSummary &s, Report &out)
+{
+    for (const Suppression &sup : s.lineSuppressions) {
+        if (sup.used || sup.usedCross)
             continue;
         Violation v;
-        v.file = f.path;
-        v.line = s.line;
+        v.file = s.path;
+        v.line = sup.line;
         v.rule = "R5";
-        v.message = "stale suppression: no " + s.rule +
+        v.message = "stale suppression: no " + sup.rule +
                     " violation on this line (remove the comment)";
         out.violations.push_back(v);
     }
-    for (const Suppression &s : f.fileSuppressions) {
-        if (s.used)
+    for (const Suppression &sup : s.fileSuppressions) {
+        if (sup.used || sup.usedCross)
             continue;
         Violation v;
-        v.file = f.path;
-        v.line = s.line;
+        v.file = s.path;
+        v.line = sup.line;
         v.rule = "R5";
-        v.message = "stale file-wide suppression: no " + s.rule +
+        v.message = "stale file-wide suppression: no " + sup.rule +
                     " violation in this file (remove the comment)";
         out.violations.push_back(v);
     }
